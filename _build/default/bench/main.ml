@@ -1,0 +1,160 @@
+(* Benchmark harness.
+
+   Usage:
+     main.exe                    run every paper experiment + microbenchmarks
+     main.exe fig5 fig7 ...      run selected experiments
+     main.exe micro              run only the Bechamel microbenchmarks
+     main.exe all --quick       shrink workloads (smoke mode)
+
+   Experiment output is the paper-shaped table for each figure/section of
+   the evaluation (see DESIGN.md's per-experiment index). *)
+
+module Experiments = Rw_workload.Experiments
+
+(* --- Bechamel microbenchmarks of the core primitives --- *)
+
+module Micro = struct
+  open Bechamel
+  open Toolkit
+  module Page = Rw_storage.Page
+  module Page_id = Rw_storage.Page_id
+  module Lsn = Rw_storage.Lsn
+  module Media = Rw_storage.Media
+  module Sim_clock = Rw_storage.Sim_clock
+  module Slotted_page = Rw_storage.Slotted_page
+  module Log_manager = Rw_wal.Log_manager
+  module Log_record = Rw_wal.Log_record
+
+  let test_slotted_insert =
+    Test.make ~name:"slotted_page insert+delete"
+      (Staged.stage (fun () ->
+           let p = Page.create ~id:(Page_id.of_int 0) ~typ:Page.Heap in
+           for i = 0 to 19 do
+             Slotted_page.insert p ~at:i "0123456789abcdef"
+           done;
+           for _ = 0 to 19 do
+             Slotted_page.delete p ~at:0
+           done))
+
+  let test_crc32 =
+    let page = Page.create ~id:(Page_id.of_int 0) ~typ:Page.Heap in
+    Test.make ~name:"crc32 of one 8KiB page" (Staged.stage (fun () -> Page.seal page))
+
+  let test_log_append =
+    let clock = Sim_clock.create () in
+    let log = Log_manager.create ~clock ~media:Media.ram () in
+    let record =
+      Log_record.make
+        (Log_record.Page_op
+           {
+             page = Page_id.of_int 1;
+             prev_page_lsn = Lsn.nil;
+             op = Log_record.Insert_row { slot = 0; row = String.make 64 'r' };
+           })
+    in
+    Test.make ~name:"log append (64B row record)"
+      (Staged.stage (fun () -> ignore (Log_manager.append log record)))
+
+  let test_record_codec =
+    let record =
+      Log_record.make
+        (Log_record.Page_op
+           {
+             page = Page_id.of_int 1;
+             prev_page_lsn = Lsn.of_int 123;
+             op =
+               Log_record.Update_row
+                 { slot = 3; before = String.make 60 'b'; after = String.make 60 'a' };
+           })
+    in
+    let encoded = Log_record.encode record in
+    Test.make ~name:"log record encode+decode"
+      (Staged.stage (fun () -> ignore (Log_record.decode encoded = record)))
+
+  (* One page with a 400-modification history; each run rewinds a copy of
+     the final image all the way back. *)
+  let prepare_env () =
+    let clock = Sim_clock.create () in
+    let log = Log_manager.create ~clock ~media:Media.ram ~cache_blocks:4096 () in
+    let pid = Page_id.of_int 0 in
+    let page = Page.create ~id:pid ~typ:Page.Heap in
+    let append op =
+      let prev = Page.lsn page in
+      let lsn =
+        Log_manager.append log
+          (Log_record.make (Log_record.Page_op { page = pid; prev_page_lsn = prev; op }))
+      in
+      Log_record.redo pid op page;
+      Page.set_lsn page lsn
+    in
+    append (Log_record.Format { typ = Page.Heap; level = 0 });
+    for i = 1 to 400 do
+      if i mod 3 = 0 && Slotted_page.count page > 0 then
+        append (Log_record.Delete_row { slot = 0; row = Slotted_page.get page ~at:0 })
+      else append (Log_record.Insert_row { slot = 0; row = Printf.sprintf "row-%04d" i })
+    done;
+    (log, page)
+
+  let test_prepare_page =
+    let log, page = prepare_env () in
+    Test.make ~name:"prepare_page_as_of (400-op rewind)"
+      (Staged.stage (fun () ->
+           let copy = Page.copy page in
+           ignore (Rw_core.Page_undo.prepare_page_as_of ~log ~page:copy ~as_of:(Lsn.of_int 1))))
+
+  let tests =
+    Test.make_grouped ~name:"core-primitives"
+      [ test_slotted_insert; test_crc32; test_log_append; test_record_codec; test_prepare_page ]
+
+  let run () =
+    print_endline "\n=== Microbenchmarks (Bechamel, real time) ===";
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+    let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    let results = Analyze.all ols Instance.monotonic_clock raw in
+    let rows =
+      Hashtbl.fold
+        (fun name v acc ->
+          let est = match Analyze.OLS.estimates v with Some (t :: _) -> t | _ -> nan in
+          (name, est) :: acc)
+        results []
+      |> List.sort compare
+    in
+    Printf.printf "%-55s %15s\n" "benchmark" "time/run";
+    List.iter
+      (fun (name, ns) ->
+        let pretty =
+          if Float.is_nan ns then "n/a"
+          else if ns < 1_000.0 then Printf.sprintf "%.0f ns" ns
+          else if ns < 1_000_000.0 then Printf.sprintf "%.2f us" (ns /. 1_000.0)
+          else Printf.sprintf "%.2f ms" (ns /. 1_000_000.0)
+        in
+        Printf.printf "%-55s %15s\n" name pretty)
+      rows;
+    print_newline ()
+end
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick") args in
+  let run_micro () = Micro.run () in
+  match args with
+  | [] | [ "all" ] ->
+      Experiments.run_all ~quick ();
+      run_micro ()
+  | names ->
+      List.iter
+        (fun arg ->
+          match arg with
+          | "micro" -> run_micro ()
+          | _ -> (
+              match Experiments.of_string arg with
+              | Some fig -> Experiments.run ~quick fig
+              | None ->
+                  Printf.eprintf
+                    "unknown experiment %S (expected: fig5..fig11, sec6_3, sec6_4, ablation, \
+                     micro, all)\n"
+                    arg;
+                  exit 2))
+        names

@@ -1,0 +1,205 @@
+(* rewind_cli — interactive SQL shell over the rewinddb engine.
+
+   Subcommands:
+     repl   interactive shell (default)           rewind_cli repl --media sas
+     exec   run a SQL script from a file or -e    rewind_cli exec -e "CREATE DATABASE d"
+     demo   load a TPC-C-like database and open a shell against it
+
+   The engine is in-memory and simulated: a fresh process starts empty.
+   Time can be advanced from the shell with the \advance meta-command so
+   as-of snapshots have a past to rewind to. *)
+
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+module Engine = Rw_engine.Engine
+module Executor = Rw_sql.Executor
+module Tpcc = Rw_workload.Tpcc
+
+let media_of_string = function
+  | "ssd" -> Ok Media.ssd
+  | "sas" -> Ok Media.sas
+  | "ram" -> Ok Media.ram
+  | s -> Error (`Msg (Printf.sprintf "unknown media %S (expected ssd, sas or ram)" s))
+
+let print_result r = Format.printf "%a@." Executor.pp_result r
+
+let run_statement session stmt =
+  match Executor.run session stmt with
+  | r -> print_result r
+  | exception Executor.Sql_error msg -> Printf.printf "ERROR: %s\n%!" msg
+  | exception Rw_sql.Parser.Parse_error msg -> Printf.printf "parse error: %s\n%!" msg
+  | exception Rw_sql.Lexer.Lex_error msg -> Printf.printf "lex error: %s\n%!" msg
+
+let meta_command session eng line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "\\q" ] | [ "\\quit" ] -> `Quit
+  | [ "\\t" ] | [ "\\time" ] ->
+      Printf.printf "simulated time: %.6f s\n%!" (Engine.now_s eng);
+      `Continue
+  | [ "\\save"; path ] -> (
+      match Executor.current_database session with
+      | None ->
+          Printf.printf "no database selected (USE <db>)\n%!";
+          `Continue
+      | Some name -> (
+          match Engine.find_database eng name with
+          | Some db ->
+              (try
+                 Rw_engine.Database.save db ~path;
+                 Printf.printf "saved %s to %s\n%!" name path
+               with e -> Printf.printf "save failed: %s\n%!" (Printexc.to_string e));
+              `Continue
+          | None ->
+              Printf.printf "current database vanished\n%!";
+              `Continue))
+  | [ "\\load"; path ] ->
+      (try
+         let db =
+           Rw_engine.Database.load ~clock:(Engine.clock eng) ~media:Media.ssd ~path ()
+         in
+         ignore (Engine.attach_database eng db);
+         Printf.printf "loaded database %s (USE %s to select it)\n%!"
+           (Rw_engine.Database.name db) (Rw_engine.Database.name db)
+       with e -> Printf.printf "load failed: %s\n%!" (Printexc.to_string e));
+      `Continue
+  | [ "\\advance"; n ] -> (
+      match float_of_string_opt n with
+      | Some sec when sec >= 0.0 ->
+          Sim_clock.advance_us (Engine.clock eng) (sec *. 1_000_000.0);
+          Printf.printf "advanced to %.6f s\n%!" (Engine.now_s eng);
+          `Continue
+      | _ ->
+          Printf.printf "usage: \\advance <seconds>\n%!";
+          `Continue)
+  | [ "\\help" ] | [ "\\h" ] ->
+      print_endline
+        "meta commands:\n\
+        \  \\help              this help\n\
+        \  \\time              show the simulated clock\n\
+        \  \\advance <secs>    advance the simulated clock\n\
+        \  \\save <path>       persist the current database to a file\n\
+        \  \\load <path>       load a previously saved database\n\
+        \  \\q                 quit\n\
+         statements: CREATE/DROP TABLE|INDEX|DATABASE, INSERT, SELECT, UPDATE, DELETE,\n\
+        \  BEGIN/COMMIT/ROLLBACK, USE, SHOW TABLES|DATABASES|HISTORY, CHECKPOINT,\n\
+        \  CREATE DATABASE s AS SNAPSHOT OF db AS OF <t|-secs>,\n\
+        \  ALTER DATABASE db SET UNDO_INTERVAL = <n> SECONDS|MINUTES|HOURS,\n\
+        \  UNDO TRANSACTION <id>";
+      `Continue
+  | _ ->
+      ignore session;
+      Printf.printf "unknown meta command (\\help for help)\n%!";
+      `Continue
+
+let repl_loop eng session =
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    let prompt =
+      if Buffer.length buffer > 0 then "   ...> "
+      else
+        match Executor.current_database session with
+        | Some db -> Printf.sprintf "%s> " db
+        | None -> "rewind> "
+    in
+    print_string prompt;
+    flush stdout;
+    match input_line stdin with
+    | exception End_of_file -> print_newline ()
+    | line when Buffer.length buffer = 0 && String.length (String.trim line) > 0
+                && (String.trim line).[0] = '\\' -> (
+        match meta_command session eng line with `Quit -> () | `Continue -> loop ())
+    | line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        if String.contains line ';' || String.trim text = "" then begin
+          Buffer.clear buffer;
+          let text = String.trim text in
+          if text <> "" then run_statement session text
+        end;
+        loop ()
+  in
+  print_endline "rewinddb shell — \\help for help, \\q to quit";
+  loop ()
+
+let make_engine media =
+  let eng = Engine.create ~media () in
+  (eng, Executor.create_session eng)
+
+let repl media =
+  let eng, session = make_engine media in
+  repl_loop eng session
+
+let exec media script file =
+  let eng, session = make_engine media in
+  let source =
+    match (script, file) with
+    | Some s, None -> s
+    | None, Some path ->
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | _ -> failwith "exec: provide exactly one of -e <sql> or a file"
+  in
+  ignore eng;
+  match Executor.run_script session source with
+  | results -> List.iter print_result results
+  | exception Executor.Sql_error msg -> Printf.printf "ERROR: %s\n" msg
+  | exception Rw_sql.Parser.Parse_error msg -> Printf.printf "parse error: %s\n" msg
+
+let demo media txns =
+  let eng, session = make_engine media in
+  let db = Engine.create_database eng ~checkpoint_interval_us:1_000_000.0 "tpcc" in
+  Printf.printf "loading TPC-C-like demo database...\n%!";
+  Tpcc.load db Tpcc.default_config;
+  let drv = Tpcc.create db Tpcc.default_config in
+  Printf.printf "running %d transactions of history...\n%!" txns;
+  ignore (Tpcc.run_mix drv ~txns);
+  ignore (Executor.run session "USE tpcc");
+  Printf.printf
+    "done: %.3f simulated seconds of history.  Try:\n\
+    \  SELECT COUNT(*) FROM orders;\n\
+    \  CREATE DATABASE past AS SNAPSHOT OF tpcc AS OF -1;\n\
+    \  SELECT COUNT(*) FROM past.orders;\n"
+    (Engine.now_s eng);
+  repl_loop eng session
+
+(* --- cmdliner wiring --- *)
+
+open Cmdliner
+
+let media_conv =
+  Arg.conv (media_of_string, fun fmt m -> Format.fprintf fmt "%s" m.Media.name)
+
+let media_term =
+  Arg.(
+    value & opt media_conv Media.ssd
+    & info [ "media" ] ~docv:"MEDIA" ~doc:"Media model: ssd, sas or ram.")
+
+let repl_cmd =
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive SQL shell") Term.(const repl $ media_term)
+
+let exec_cmd =
+  let script =
+    Arg.(value & opt (some string) None & info [ "e" ] ~docv:"SQL" ~doc:"SQL script to run.")
+  in
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "exec" ~doc:"Execute a SQL script") Term.(const exec $ media_term $ script $ file)
+
+let demo_cmd =
+  let txns =
+    Arg.(value & opt int 2000 & info [ "txns" ] ~docv:"N" ~doc:"History transactions to run.")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Shell against a pre-loaded TPC-C-like database")
+    Term.(const demo $ media_term $ txns)
+
+let main =
+  Cmd.group ~default:Term.(const repl $ media_term)
+    (Cmd.info "rewind_cli" ~version:"1.0.0"
+       ~doc:"Transaction-log based point-in-time query engine (VLDB'12 reproduction)")
+    [ repl_cmd; exec_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main)

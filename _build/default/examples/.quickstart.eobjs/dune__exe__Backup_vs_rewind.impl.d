@@ -1,0 +1,1 @@
+examples/backup_vs_rewind.ml: Format List Option Printf Rw_core Rw_engine Rw_storage Rw_workload

@@ -1,0 +1,1 @@
+examples/drop_table_recovery.ml: Format Printf Rw_engine Rw_sql Rw_storage

@@ -1,0 +1,1 @@
+examples/drop_table_recovery.mli:

@@ -1,0 +1,1 @@
+examples/point_in_time_audit.ml: Int64 List Option Printf Rw_catalog Rw_core Rw_engine Rw_storage

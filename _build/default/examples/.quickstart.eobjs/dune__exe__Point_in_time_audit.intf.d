@@ -1,0 +1,1 @@
+examples/point_in_time_audit.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Int64 Option Printf Rw_catalog Rw_core Rw_engine Rw_storage

@@ -1,0 +1,1 @@
+examples/undo_transaction.ml: Format Int64 List Option Printf Rw_engine Rw_sql Rw_storage

@@ -1,0 +1,1 @@
+examples/undo_transaction.mli:

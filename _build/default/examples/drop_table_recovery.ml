@@ -1,0 +1,51 @@
+(* The paper's motivating scenario (§1), verbatim in SQL: an application
+   error drops a table; the user mounts an as-of snapshot, verifies the
+   table exists there, and reconciles with INSERT ... SELECT — all without
+   restoring a backup.
+
+     dune exec examples/drop_table_recovery.exe *)
+
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+module Engine = Rw_engine.Engine
+module Executor = Rw_sql.Executor
+
+let sql session stmt =
+  Printf.printf "sql> %s\n" stmt;
+  match Executor.run session stmt with
+  | result -> Format.printf "%a@." Executor.pp_result result
+  | exception Executor.Sql_error msg -> Printf.printf "ERROR: %s\n" msg
+
+let () =
+  let eng = Engine.create ~media:Media.ssd () in
+  let s = Executor.create_session eng in
+  sql s "CREATE DATABASE shopdb";
+  sql s "CREATE TABLE orders (o_id INT PRIMARY KEY, amount INT, customer TEXT)";
+  sql s
+    "INSERT INTO orders VALUES (1, 120, 'ada'), (2, 80, 'grace'), (3, 310, 'edsger'), (4, 45, \
+     'barbara')";
+  sql s "ALTER DATABASE shopdb SET UNDO_INTERVAL = 24 HOURS";
+  sql s "CHECKPOINT";
+
+  (* Time passes; more activity. *)
+  Sim_clock.advance_us (Engine.clock eng) 3_000_000.0;
+  sql s "INSERT INTO orders VALUES (5, 99, 'alan')";
+  Sim_clock.advance_us (Engine.clock eng) 2_000_000.0;
+
+  print_endline "\n-- the application error: --";
+  sql s "DROP TABLE orders";
+  sql s "SELECT * FROM orders";
+
+  print_endline "\n-- recovery: mount a snapshot as of ~5 seconds ago --";
+  (* The user guesses an approximate time; iterating over guesses is cheap
+     because only metadata pages are rewound to check the catalog. *)
+  sql s "CREATE DATABASE shopdb_asof AS SNAPSHOT OF shopdb AS OF -5";
+  sql s "SELECT COUNT(*) FROM shopdb_asof.orders";
+  sql s "SELECT * FROM shopdb_asof.orders WHERE o_id BETWEEN 1 AND 3";
+
+  print_endline "\n-- reconcile: recreate the table and pull the rows over --";
+  sql s "CREATE TABLE orders (o_id INT PRIMARY KEY, amount INT, customer TEXT)";
+  sql s "INSERT INTO shopdb.orders SELECT * FROM shopdb_asof.orders";
+  sql s "SELECT * FROM orders";
+  sql s "DROP DATABASE shopdb_asof";
+  print_endline "recovered without touching a backup."

@@ -1,0 +1,91 @@
+(* Point-in-time auditing: a ledger of account transfers is queried as of
+   several moments in the past — the "arbitrary point in time query"
+   capability of the paper, used not for error recovery but for audit.
+
+   Shows that each as-of query only materialises the pages it touches,
+   and that repeated queries against the same snapshot reuse the sparse
+   file (the paper's amortisation argument, §6.2).
+
+     dune exec examples/point_in_time_audit.exe *)
+
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+module Prng = Rw_storage.Prng
+module Schema = Rw_catalog.Schema
+module Engine = Rw_engine.Engine
+module Database = Rw_engine.Database
+module Row = Rw_engine.Row
+module As_of_snapshot = Rw_core.As_of_snapshot
+
+let accounts = 50
+let initial_balance = 1_000L
+
+let balance db account =
+  match Database.get db ~table:"accounts" ~key:(Int64.of_int account) with
+  | Some [ _; Row.Int b ] -> b
+  | _ -> failwith "missing account"
+
+let total db =
+  let t = ref 0L in
+  Database.scan db ~table:"accounts" ~f:(fun row ->
+      match row with [ _; Row.Int b ] -> t := Int64.add !t b | _ -> ());
+  !t
+
+let transfer db rng =
+  let a = 1 + Prng.int rng accounts and b = 1 + Prng.int rng accounts in
+  if a <> b then
+    Database.with_txn db (fun txn ->
+        let amount = Int64.of_int (1 + Prng.int rng 50) in
+        let ba = balance db a and bb = balance db b in
+        Database.update db txn ~table:"accounts"
+          [ Row.Int (Int64.of_int a); Row.Int (Int64.sub ba amount) ];
+        Database.update db txn ~table:"accounts"
+          [ Row.Int (Int64.of_int b); Row.Int (Int64.add bb amount) ])
+
+let () =
+  let eng = Engine.create ~media:Media.ssd () in
+  let db = Engine.create_database eng ~checkpoint_interval_us:1_000_000.0 "bank" in
+  let rng = Prng.create 17 in
+  Database.with_txn db (fun txn ->
+      ignore
+        (Database.create_table db txn ~table:"accounts"
+           ~columns:
+             [
+               { Schema.name = "id"; ctype = Schema.Int };
+               { Schema.name = "balance"; ctype = Schema.Int };
+             ]
+           ());
+      for i = 1 to accounts do
+        Database.insert db txn ~table:"accounts" [ Row.Int (Int64.of_int i); Row.Int initial_balance ]
+      done);
+
+  (* Run transfers, remembering audit points along the way. *)
+  let audit_points = ref [] in
+  for phase = 1 to 4 do
+    for _ = 1 to 200 do
+      transfer db rng
+    done;
+    Sim_clock.advance_us (Engine.clock eng) 500_000.0;
+    audit_points := (phase, Engine.now_us eng, balance db 1) :: !audit_points
+  done;
+  Printf.printf "final:   account 1 = %Ld, total = %Ld\n\n" (balance db 1) (total db);
+
+  (* Audit: reconstruct account 1's balance at each recorded moment and
+     check the conservation invariant as of that time. *)
+  List.iter
+    (fun (phase, wall_us, recorded) ->
+      let snap =
+        Database.create_as_of_snapshot db ~name:(Printf.sprintf "audit%d" phase) ~wall_us
+      in
+      let b = balance snap 1 in
+      let handle = Option.get (Database.snapshot_handle snap) in
+      Printf.printf
+        "phase %d: account 1 as-of = %4Ld (recorded %4Ld) %s | total conserved: %b | pages \
+         materialised: %d\n"
+        phase b recorded
+        (if b = recorded then "OK " else "BUG")
+        (total snap = Int64.mul (Int64.of_int accounts) initial_balance)
+        (As_of_snapshot.pages_materialised handle);
+      assert (b = recorded))
+    (List.rev !audit_points);
+  print_endline "\naudit complete: every past balance reproduced exactly."

@@ -1,0 +1,73 @@
+(* Quickstart: the engine API in one file.
+
+   Creates a database, runs transactions, rewinds the database to a past
+   point with an as-of snapshot, and survives a crash.
+
+     dune exec examples/quickstart.exe *)
+
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+module Schema = Rw_catalog.Schema
+module Engine = Rw_engine.Engine
+module Database = Rw_engine.Database
+module Row = Rw_engine.Row
+module As_of_snapshot = Rw_core.As_of_snapshot
+
+let () =
+  (* An engine bundles a simulated clock and a media model; [ssd] prices
+     every I/O like a 2012-era SSD. *)
+  let eng = Engine.create ~media:Media.ssd () in
+  let db = Engine.create_database eng "inventory" in
+
+  (* DDL + DML run inside transactions; [with_txn] auto-commits. *)
+  Database.with_txn db (fun txn ->
+      ignore
+        (Database.create_table db txn ~table:"gadgets"
+           ~columns:
+             [
+               { Schema.name = "id"; ctype = Schema.Int };
+               { Schema.name = "stock"; ctype = Schema.Int };
+               { Schema.name = "name"; ctype = Schema.Text };
+             ]
+           ());
+      for i = 1 to 5 do
+        Database.insert db txn ~table:"gadgets"
+          [ Row.Int (Int64.of_int i); Row.Int 100L; Row.Text (Printf.sprintf "gadget-%d" i) ]
+      done);
+  Printf.printf "loaded %d gadgets\n" (Database.row_count db ~table:"gadgets");
+
+  (* Let simulated time pass and remember the moment. *)
+  Sim_clock.advance_us (Engine.clock eng) 1_000_000.0;
+  let before_changes = Engine.now_us eng in
+  Sim_clock.advance_us (Engine.clock eng) 1_000_000.0;
+
+  (* Mutate: sell most of gadget 3, discontinue gadget 5. *)
+  Database.with_txn db (fun txn ->
+      Database.update db txn ~table:"gadgets" [ Row.Int 3L; Row.Int 7L; Row.Text "gadget-3" ];
+      Database.delete db txn ~table:"gadgets" ~key:5L);
+
+  (* Rewind: a read-only view of the database as of [before_changes].
+     Only the pages the queries touch are reconstructed. *)
+  let snap = Database.create_as_of_snapshot db ~name:"inventory_asof" ~wall_us:before_changes in
+  let show label view key =
+    match Database.get view ~table:"gadgets" ~key with
+    | Some [ _; Row.Int stock; Row.Text name ] ->
+        Printf.printf "%-12s %s stock=%Ld\n" label name stock
+    | Some _ -> assert false
+    | None -> Printf.printf "%-12s gadget %Ld: <no row>\n" label key
+  in
+  show "now:" db 3L;
+  show "as-of:" snap 3L;
+  show "now:" db 5L;
+  show "as-of:" snap 5L;
+  let handle = Option.get (Database.snapshot_handle snap) in
+  Printf.printf "snapshot rebuilt only %d pages (database has %d)\n"
+    (As_of_snapshot.pages_materialised handle)
+    (Rw_storage.Disk.page_count (Database.disk db));
+
+  (* Crash safety: drop all volatile state and recover via ARIES restart. *)
+  let db = Database.crash_and_reopen db in
+  Printf.printf "after crash recovery: %d gadgets, gadget 5 %s\n"
+    (Database.row_count db ~table:"gadgets")
+    (match Database.get db ~table:"gadgets" ~key:5L with Some _ -> "back?!" | None -> "still gone");
+  print_endline "quickstart done"

@@ -1,0 +1,1 @@
+lib/access/access_ctx.mli: Rw_buffer Rw_storage Rw_txn Rw_wal

@@ -1,0 +1,1 @@
+lib/access/alloc_map.ml: Access_ctx Boot Either Int64 List Rowfmt Rw_storage Rw_wal

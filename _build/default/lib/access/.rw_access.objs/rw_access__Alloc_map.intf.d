@@ -1,0 +1,1 @@
+lib/access/alloc_map.mli: Access_ctx Rw_storage Rw_txn

@@ -1,0 +1,1 @@
+lib/access/boot.ml: Access_ctx Either Printf Rowfmt Rw_storage Rw_wal

@@ -1,0 +1,1 @@
+lib/access/boot.mli: Access_ctx Rw_storage Rw_txn

@@ -1,0 +1,1 @@
+lib/access/btree.ml: Access_ctx Alloc_map Array Either Int64 List Printf Rowfmt Rw_storage Rw_wal String

@@ -1,0 +1,1 @@
+lib/access/btree.mli: Access_ctx Alloc_map Rw_storage Rw_txn

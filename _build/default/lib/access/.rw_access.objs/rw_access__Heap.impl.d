@@ -1,0 +1,1 @@
+lib/access/heap.ml: Access_ctx Alloc_map List Rw_storage Rw_wal String

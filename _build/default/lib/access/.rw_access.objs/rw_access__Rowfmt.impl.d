@@ -1,0 +1,1 @@
+lib/access/rowfmt.ml: Bytes Char Rw_storage String

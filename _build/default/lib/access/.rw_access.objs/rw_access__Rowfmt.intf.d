@@ -1,0 +1,1 @@
+lib/access/rowfmt.mli: Rw_storage

@@ -1,0 +1,110 @@
+module Page = Rw_storage.Page
+module Page_id = Rw_storage.Page_id
+module Lsn = Rw_storage.Lsn
+module Sim_clock = Rw_storage.Sim_clock
+module Log_record = Rw_wal.Log_record
+module Log_manager = Rw_wal.Log_manager
+module Buffer_pool = Rw_buffer.Buffer_pool
+module Latch = Rw_buffer.Latch
+module Txn_manager = Rw_txn.Txn_manager
+
+type t = {
+  pool : Buffer_pool.t;
+  txns : Txn_manager.t;
+  log : Log_manager.t;
+  clock : Sim_clock.t;
+  mutable fpi_frequency : int;
+  mod_counts : (int, int) Hashtbl.t;
+  cpu_op_us : float;
+  mutable hooks : (int * (Page_id.t -> Page.t -> unit)) list;
+  mutable next_hook : int;
+}
+
+let create ~pool ~txns ~log ~clock ?(fpi_frequency = 0) ?(cpu_op_us = 1.0) () =
+  {
+    pool;
+    txns;
+    log;
+    clock;
+    fpi_frequency;
+    mod_counts = Hashtbl.create 256;
+    cpu_op_us;
+    hooks = [];
+    next_hook = 0;
+  }
+
+let add_pre_modify_hook t f =
+  let id = t.next_hook in
+  t.next_hook <- id + 1;
+  t.hooks <- (id, f) :: t.hooks;
+  id
+
+let remove_pre_modify_hook t id = t.hooks <- List.filter (fun (i, _) -> i <> id) t.hooks
+
+let fire_hooks t pid page = List.iter (fun (_, f) -> f pid page) t.hooks
+
+let pool t = t.pool
+let txns t = t.txns
+let log t = t.log
+let clock t = t.clock
+let fpi_frequency t = t.fpi_frequency
+let set_fpi_frequency t n = t.fpi_frequency <- n
+
+(* Emit a full page image if this page has accumulated N modifications
+   since the last one.  FPIs are system records outside any transaction but
+   on the page's chain, so backward traversal can use them. *)
+let maybe_emit_fpi t pid page frame =
+  if t.fpi_frequency > 0 then begin
+    let key = Page_id.to_int pid in
+    let n = (match Hashtbl.find_opt t.mod_counts key with Some n -> n | None -> 0) + 1 in
+    if n >= t.fpi_frequency then begin
+      Hashtbl.replace t.mod_counts key 0;
+      let image = Bytes.to_string page in
+      let lsn =
+        Log_manager.append t.log
+          (Log_record.make
+             (Log_record.Page_op
+                { page = pid; prev_page_lsn = Page.lsn page; op = Log_record.Full_image { image } }))
+      in
+      Page.set_lsn page lsn;
+      Buffer_pool.mark_dirty t.pool frame ~lsn
+    end
+    else Hashtbl.replace t.mod_counts key n
+  end
+
+let modify t txn pid op =
+  Sim_clock.advance_us t.clock t.cpu_op_us;
+  let frame = Buffer_pool.fetch t.pool pid in
+  Fun.protect
+    ~finally:(fun () -> Buffer_pool.unpin t.pool frame)
+    (fun () ->
+      Latch.with_latch (Buffer_pool.frame_latch frame) Latch.Exclusive (fun () ->
+          let page = Buffer_pool.page frame in
+          fire_hooks t pid page;
+          let prev_page_lsn = Page.lsn page in
+          let lsn = Txn_manager.log_page_op t.txns txn ~page:pid ~prev_page_lsn op in
+          Log_record.redo pid op page;
+          Page.set_lsn page lsn;
+          Buffer_pool.mark_dirty t.pool frame ~lsn;
+          maybe_emit_fpi t pid page frame))
+
+let read t pid f =
+  Sim_clock.advance_us t.clock (t.cpu_op_us /. 2.0);
+  Buffer_pool.with_page t.pool pid ~mode:Latch.Shared f
+
+let page_writer t : Txn_manager.page_writer =
+ fun pid apply ->
+  Sim_clock.advance_us t.clock t.cpu_op_us;
+  let frame = Buffer_pool.fetch t.pool pid in
+  Fun.protect
+    ~finally:(fun () -> Buffer_pool.unpin t.pool frame)
+    (fun () ->
+      Latch.with_latch (Buffer_pool.frame_latch frame) Latch.Exclusive (fun () ->
+          let page = Buffer_pool.page frame in
+          fire_hooks t pid page;
+          let lsn = apply page in
+          Buffer_pool.mark_dirty t.pool frame ~lsn;
+          maybe_emit_fpi t pid page frame))
+
+let snapshot_page_image t pid =
+  Buffer_pool.with_page t.pool pid ~mode:Latch.Shared (fun page -> Bytes.to_string page)

@@ -1,0 +1,50 @@
+(** Shared context for access methods.
+
+    Bundles the buffer pool, log and transaction manager, and funnels every
+    page modification through {!modify}: log the operation on the
+    transaction's chain (threading [prev_page_lsn]), apply its redo effect
+    under an exclusive latch, stamp the page LSN, mark the frame dirty —
+    and, every [fpi_frequency]-th modification of a page, emit a full-page
+    image record (the paper's optional logging extension, §6.1). *)
+
+type t
+
+val create :
+  pool:Rw_buffer.Buffer_pool.t ->
+  txns:Rw_txn.Txn_manager.t ->
+  log:Rw_wal.Log_manager.t ->
+  clock:Rw_storage.Sim_clock.t ->
+  ?fpi_frequency:int ->
+  ?cpu_op_us:float ->
+  unit ->
+  t
+(** [fpi_frequency] = the paper's N; 0 (default) disables FPI emission. *)
+
+val pool : t -> Rw_buffer.Buffer_pool.t
+val txns : t -> Rw_txn.Txn_manager.t
+val log : t -> Rw_wal.Log_manager.t
+val clock : t -> Rw_storage.Sim_clock.t
+val fpi_frequency : t -> int
+val set_fpi_frequency : t -> int -> unit
+
+val modify :
+  t -> Rw_txn.Txn_manager.txn -> Rw_storage.Page_id.t -> Rw_wal.Log_record.op -> unit
+(** Log and apply one operation to one page (see module doc). *)
+
+val add_pre_modify_hook : t -> (Rw_storage.Page_id.t -> Rw_storage.Page.t -> unit) -> int
+(** Register an observer called with the page's {e pre-modification}
+    content before every change — the interception point classic
+    copy-on-write snapshots need.  Returns a handle for removal. *)
+
+val remove_pre_modify_hook : t -> int -> unit
+
+val read :
+  t -> Rw_storage.Page_id.t -> (Rw_storage.Page.t -> 'a) -> 'a
+(** Run [f] on the page under a shared latch. *)
+
+val page_writer : t -> Rw_txn.Txn_manager.page_writer
+(** The writer used by rollback to apply CLRs through this context
+    (exclusive latch, dirty marking, FPI accounting). *)
+
+val snapshot_page_image : t -> Rw_storage.Page_id.t -> string
+(** Current image of a page as a string (for preformat records). *)

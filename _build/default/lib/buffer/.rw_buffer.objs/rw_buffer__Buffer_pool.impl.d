@@ -1,0 +1,1 @@
+lib/buffer/buffer_pool.ml: Hashtbl Latch List Printf Rw_storage

@@ -1,0 +1,1 @@
+lib/buffer/buffer_pool.mli: Latch Rw_storage

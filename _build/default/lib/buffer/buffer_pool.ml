@@ -1,0 +1,151 @@
+module Page = Rw_storage.Page
+module Page_id = Rw_storage.Page_id
+module Lsn = Rw_storage.Lsn
+module Disk = Rw_storage.Disk
+
+type source = { read : Page_id.t -> Page.t; write : Page_id.t -> Page.t -> unit }
+
+type frame = {
+  id : Page_id.t;
+  mutable page : Page.t;
+  mutable pin_count : int;
+  mutable dirty : bool;
+  mutable rec_lsn : Lsn.t;
+  mutable last_used : int;
+  latch : Latch.t;
+}
+
+type t = {
+  capacity : int;
+  source : source;
+  wal_flush : Lsn.t -> unit;
+  frames : (int, frame) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let of_disk disk =
+  {
+    read =
+      (fun pid ->
+        let p = Disk.read_page disk pid in
+        if not (Page.verify p) then
+          failwith (Printf.sprintf "checksum failure on page %d" (Page_id.to_int pid));
+        p);
+    write =
+      (fun pid p ->
+        Page.seal p;
+        Disk.write_page disk pid p);
+  }
+
+let create ~capacity ~source ?(wal_flush = fun _ -> ()) () =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  {
+    capacity;
+    source;
+    wal_flush;
+    frames = Hashtbl.create (2 * capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let page f = f.page
+let frame_latch f = f.latch
+let pin_count f = f.pin_count
+let is_dirty f = f.dirty
+let resident t = Hashtbl.length t.frames
+let hits t = t.hits
+let misses t = t.misses
+
+let write_back t f =
+  if f.dirty then begin
+    (* WAL rule: the log covering this page's changes must be durable
+       before the page overwrites its prior version on disk. *)
+    t.wal_flush (Page.lsn f.page);
+    t.source.write f.id f.page;
+    f.dirty <- false;
+    f.rec_lsn <- Lsn.nil
+  end
+
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun _ f ->
+      if f.pin_count = 0 && Latch.is_free f.latch then
+        match !victim with
+        | Some v when v.last_used <= f.last_used -> ()
+        | _ -> victim := Some f)
+    t.frames;
+  match !victim with
+  | None -> failwith "Buffer_pool: all frames pinned"
+  | Some f ->
+      write_back t f;
+      Hashtbl.remove t.frames (Page_id.to_int f.id)
+
+let fetch t pid =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.frames (Page_id.to_int pid) with
+  | Some f ->
+      t.hits <- t.hits + 1;
+      f.pin_count <- f.pin_count + 1;
+      f.last_used <- t.tick;
+      f
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.frames >= t.capacity then evict_one t;
+      let page = t.source.read pid in
+      let f =
+        {
+          id = pid;
+          page;
+          pin_count = 1;
+          dirty = false;
+          rec_lsn = Lsn.nil;
+          last_used = t.tick;
+          latch = Latch.create ();
+        }
+      in
+      Hashtbl.replace t.frames (Page_id.to_int pid) f;
+      f
+
+let unpin _t f =
+  if f.pin_count <= 0 then invalid_arg "Buffer_pool.unpin: not pinned";
+  f.pin_count <- f.pin_count - 1
+
+let with_page t pid ~mode f =
+  let frame = fetch t pid in
+  let finally () = unpin t frame in
+  match Latch.with_latch frame.latch mode (fun () -> f frame.page) with
+  | v ->
+      finally ();
+      v
+  | exception e ->
+      finally ();
+      raise e
+
+let mark_dirty _t f ~lsn =
+  if not f.dirty then begin
+    f.dirty <- true;
+    f.rec_lsn <- lsn
+  end
+
+let dirty_page_table t =
+  Hashtbl.fold (fun _ f acc -> if f.dirty then (f.id, f.rec_lsn) :: acc else acc) t.frames []
+  |> List.sort (fun (a, _) (b, _) -> Page_id.compare a b)
+
+let flush_page t pid =
+  match Hashtbl.find_opt t.frames (Page_id.to_int pid) with
+  | Some f -> write_back t f
+  | None -> ()
+
+let flush_all t =
+  let dirty = dirty_page_table t in
+  List.iter (fun (pid, _) -> flush_page t pid) dirty
+
+let drop_all t =
+  Hashtbl.iter
+    (fun _ f -> if f.pin_count > 0 then failwith "Buffer_pool.drop_all: frame pinned")
+    t.frames;
+  Hashtbl.reset t.frames

@@ -1,0 +1,67 @@
+(** The buffer manager.
+
+    Caches pages of one page source (the primary database file, or the
+    snapshot view of it), enforces the WAL rule before writing back dirty
+    pages, and tracks the dirty-page table used by checkpoints and recovery
+    analysis.
+
+    The page {e source} is abstract so the same pool serves both the primary
+    database (reads hit the disk) and as-of snapshots (reads consult the
+    sparse file, fall through to the primary and rewind — paper §5.3); the
+    pool itself stays oblivious, exactly like the paper's buffer manager. *)
+
+type source = {
+  read : Rw_storage.Page_id.t -> Rw_storage.Page.t;
+  write : Rw_storage.Page_id.t -> Rw_storage.Page.t -> unit;
+}
+
+type t
+
+type frame
+
+val of_disk : Rw_storage.Disk.t -> source
+(** The standard source: random page reads/writes on a disk, sealing pages
+    on write and verifying checksums on read. *)
+
+val create :
+  capacity:int -> source:source -> ?wal_flush:(Rw_storage.Lsn.t -> unit) -> unit -> t
+(** [wal_flush lsn] is invoked before a dirty page with page-LSN [lsn] is
+    written back (the WAL rule).  Raises on capacity < 1. *)
+
+val fetch : t -> Rw_storage.Page_id.t -> frame
+(** Pin the page, reading it from the source on a miss (evicting if full).
+    Raises [Failure] if every frame is pinned. *)
+
+val unpin : t -> frame -> unit
+
+val with_page :
+  t -> Rw_storage.Page_id.t -> mode:Latch.mode -> (Rw_storage.Page.t -> 'a) -> 'a
+(** Fetch, latch, run, unlatch, unpin. *)
+
+val page : frame -> Rw_storage.Page.t
+(** The in-pool page buffer (mutations require the exclusive latch and a
+    subsequent {!mark_dirty}). *)
+
+val frame_latch : frame -> Latch.t
+val pin_count : frame -> int
+val is_dirty : frame -> bool
+
+val mark_dirty : t -> frame -> lsn:Rw_storage.Lsn.t -> unit
+(** Record that the frame was modified by the log record at [lsn]; on first
+    dirtying this becomes the frame's recovery LSN. *)
+
+val dirty_page_table : t -> (Rw_storage.Page_id.t * Rw_storage.Lsn.t) list
+(** (page, recLSN) pairs for the checkpoint record. *)
+
+val flush_page : t -> Rw_storage.Page_id.t -> unit
+(** Write back if dirty (honouring the WAL rule); no-op when clean or not
+    resident. *)
+
+val flush_all : t -> unit
+val drop_all : t -> unit
+(** Discard every frame without writing — crash simulation.  Raises if any
+    frame is pinned. *)
+
+val resident : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,44 @@
+type mode = Shared | Exclusive
+
+exception Latch_conflict
+
+type t = { mutable shared : int; mutable exclusive : bool }
+
+let create () = { shared = 0; exclusive = false }
+
+let try_acquire t = function
+  | Shared ->
+      if t.exclusive then false
+      else begin
+        t.shared <- t.shared + 1;
+        true
+      end
+  | Exclusive ->
+      if t.exclusive || t.shared > 0 then false
+      else begin
+        t.exclusive <- true;
+        true
+      end
+
+let acquire t mode = if not (try_acquire t mode) then raise Latch_conflict
+
+let release t = function
+  | Shared ->
+      if t.shared <= 0 then invalid_arg "Latch.release: not held shared";
+      t.shared <- t.shared - 1
+  | Exclusive ->
+      if not t.exclusive then invalid_arg "Latch.release: not held exclusive";
+      t.exclusive <- false
+
+let holders t = t.shared + if t.exclusive then 1 else 0
+let is_free t = holders t = 0
+
+let with_latch t mode f =
+  acquire t mode;
+  match f () with
+  | v ->
+      release t mode;
+      v
+  | exception e ->
+      release t mode;
+      raise e

@@ -1,0 +1,1 @@
+lib/catalog/schema.ml: Format List Printf Rw_storage Rw_wal String

@@ -1,0 +1,1 @@
+lib/catalog/system_tables.ml: Int64 List Rw_access Rw_storage Schema

@@ -1,0 +1,1 @@
+lib/catalog/system_tables.mli: Rw_access Rw_txn Schema

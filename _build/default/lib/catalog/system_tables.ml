@@ -1,0 +1,63 @@
+module Access_ctx = Rw_access.Access_ctx
+module Alloc_map = Rw_access.Alloc_map
+module Btree = Rw_access.Btree
+module Heap = Rw_access.Heap
+module Boot = Rw_access.Boot
+module Page_id = Rw_storage.Page_id
+
+exception Table_exists of string
+exception No_such_table of string
+
+let catalog_tree ctx = Btree.of_root (Page_id.of_int64 (Boot.get_exn ctx Boot.key_catalog_root))
+
+let init ctx alloc txn =
+  let tree = Btree.create ctx alloc txn in
+  Boot.set ctx txn Boot.key_catalog_root (Page_id.to_int64 (Btree.root tree));
+  Boot.set ctx txn Boot.key_next_table_id 1L
+
+let list_tables ctx =
+  let acc = ref [] in
+  Btree.iter ctx (catalog_tree ctx) ~f:(fun _ payload -> acc := Schema.decode payload :: !acc);
+  List.rev !acc
+
+let find ctx name = List.find_opt (fun (t : Schema.table) -> t.name = name) (list_tables ctx)
+
+let find_exn ctx name =
+  match find ctx name with Some t -> t | None -> raise (No_such_table name)
+
+let find_by_id ctx id =
+  match Btree.find ctx (catalog_tree ctx) (Int64.of_int id) with
+  | Some payload -> Some (Schema.decode payload)
+  | None -> None
+
+let create_table ctx alloc txn ~name ~kind ~columns =
+  (match Schema.validate ~name ~columns with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("create_table: " ^ msg));
+  if find ctx name <> None then raise (Table_exists name);
+  let id = Int64.to_int (Boot.get_exn ctx Boot.key_next_table_id) in
+  Boot.set ctx txn Boot.key_next_table_id (Int64.of_int (id + 1));
+  let root =
+    match kind with
+    | Schema.Btree_table -> Btree.root (Btree.create ctx alloc txn)
+    | Schema.Heap_table -> Heap.first (Heap.create ctx alloc txn)
+  in
+  let table = { Schema.id; name; kind; root; columns; indexes = [] } in
+  Btree.insert ctx alloc txn (catalog_tree ctx) ~key:(Int64.of_int id)
+    ~payload:(Schema.encode table);
+  table
+
+let update_table ctx alloc txn (table : Schema.table) =
+  Btree.update ctx alloc txn (catalog_tree ctx) ~key:(Int64.of_int table.Schema.id)
+    ~payload:(Schema.encode table)
+
+let drop_table ctx alloc txn name =
+  let table = find_exn ctx name in
+  (match table.Schema.kind with
+  | Schema.Btree_table -> Btree.drop ctx alloc txn (Btree.of_root table.Schema.root)
+  | Schema.Heap_table -> Heap.drop ctx alloc txn (Heap.of_first table.Schema.root));
+  List.iter
+    (fun (ix : Schema.index) ->
+      Btree.drop ctx alloc txn (Btree.of_root ix.Schema.index_root))
+    table.Schema.indexes;
+  Btree.delete ctx txn (catalog_tree ctx) ~key:(Int64.of_int table.Schema.id)

@@ -1,0 +1,1 @@
+lib/core/as_of_snapshot.ml: Hashtbl Page_undo Rw_buffer Rw_recovery Rw_storage Rw_wal Split_lsn

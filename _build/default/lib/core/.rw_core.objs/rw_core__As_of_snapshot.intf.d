@@ -1,0 +1,1 @@
+lib/core/as_of_snapshot.mli: Rw_buffer Rw_storage Rw_txn Rw_wal

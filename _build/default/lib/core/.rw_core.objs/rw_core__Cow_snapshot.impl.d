@@ -1,0 +1,1 @@
+lib/core/cow_snapshot.ml: Hashtbl Rw_access Rw_buffer Rw_recovery Rw_storage Rw_txn

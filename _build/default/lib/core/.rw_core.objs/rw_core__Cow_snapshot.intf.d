@@ -1,0 +1,1 @@
+lib/core/cow_snapshot.mli: Rw_access Rw_buffer Rw_storage Rw_txn Rw_wal

@@ -1,0 +1,1 @@
+lib/core/page_undo.ml: Bytes Rw_storage Rw_wal

@@ -1,0 +1,1 @@
+lib/core/page_undo.mli: Rw_storage Rw_wal

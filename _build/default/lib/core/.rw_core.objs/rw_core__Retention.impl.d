@@ -1,0 +1,1 @@
+lib/core/retention.ml: Rw_storage Rw_wal

@@ -1,0 +1,1 @@
+lib/core/retention.mli: Rw_storage Rw_wal

@@ -1,0 +1,1 @@
+lib/core/split_lsn.ml: Rw_storage Rw_wal

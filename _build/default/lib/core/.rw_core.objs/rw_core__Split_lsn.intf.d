@@ -1,0 +1,1 @@
+lib/core/split_lsn.mli: Rw_storage Rw_wal

@@ -1,0 +1,1 @@
+lib/core/txn_rewind.ml: Either Hashtbl List Rw_access Rw_storage Rw_txn Rw_wal String

@@ -1,0 +1,1 @@
+lib/core/txn_rewind.mli: Rw_access Rw_storage Rw_wal

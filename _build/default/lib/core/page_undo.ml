@@ -1,0 +1,47 @@
+module Lsn = Rw_storage.Lsn
+module Page = Rw_storage.Page
+module Page_id = Rw_storage.Page_id
+module Log_record = Rw_wal.Log_record
+module Log_manager = Rw_wal.Log_manager
+
+exception Chain_broken of { page : Page_id.t; lsn : Lsn.t }
+
+type result = { ops_undone : int; log_records_read : int; used_fpi : bool }
+
+let prepare_page_as_of ~log ~page ~as_of =
+  let pid = Page.id page in
+  let reads = ref 0 in
+  let used_fpi = ref false in
+  (* Jump-start: restore the earliest full page image logged after the
+     target point, if one exists below the page's current position; the
+     image embeds the page LSN it was taken at, so the walk resumes from
+     there and the log region above the image is never visited. *)
+  (match Log_manager.earliest_fpi_after log pid ~after:as_of with
+  | Some fpi_lsn when Lsn.(fpi_lsn < Page.lsn page) -> (
+      incr reads;
+      let r = Log_manager.read log fpi_lsn in
+      match Log_record.op_of r with
+      | Some (Log_record.Full_image { image }) ->
+          Bytes.blit_string image 0 page 0 Page.page_size;
+          used_fpi := true
+      | _ -> raise (Chain_broken { page = pid; lsn = fpi_lsn }))
+  | _ -> ());
+  let undone = ref 0 in
+  let rec walk () =
+    let curr = Page.lsn page in
+    if Lsn.(curr > as_of) then begin
+      incr reads;
+      let r = Log_manager.read log curr in
+      match r.Log_record.body with
+      | Log_record.Page_op { page = rpid; prev_page_lsn; op }
+      | Log_record.Clr { page = rpid; prev_page_lsn; op; _ } ->
+          if not (Page_id.equal rpid pid) then raise (Chain_broken { page = pid; lsn = curr });
+          Log_record.undo op page;
+          incr undone;
+          Page.set_lsn page prev_page_lsn;
+          walk ()
+      | _ -> raise (Chain_broken { page = pid; lsn = curr })
+    end
+  in
+  walk ();
+  { ops_undone = !undone; log_records_read = !reads; used_fpi = !used_fpi }

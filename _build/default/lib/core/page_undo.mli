@@ -1,0 +1,29 @@
+(** [PreparePageAsOf] — the paper's core primitive (§4).
+
+    Rewinds a single page from its current content to its state as of an
+    arbitrary LSN by walking the page's backward chain of log records
+    ([prevPageLSN]) and applying each record's undo information.  Pages are
+    rewound independently of one another, which is exactly what makes the
+    cost of an as-of query proportional to the data it touches rather than
+    to the size of the database.
+
+    When the log contains full-page-image records for the page (emitted
+    every Nth modification, §6.1), the walk jump-starts from the earliest
+    image after the target LSN, skipping the log region above it. *)
+
+exception Chain_broken of { page : Rw_storage.Page_id.t; lsn : Rw_storage.Lsn.t }
+(** The record found on a page chain does not belong to that page — a
+    corrupted chain. *)
+
+type result = {
+  ops_undone : int;  (** individual modifications undone *)
+  log_records_read : int;  (** total log records fetched, FPI included *)
+  used_fpi : bool;
+}
+
+val prepare_page_as_of :
+  log:Rw_wal.Log_manager.t -> page:Rw_storage.Page.t -> as_of:Rw_storage.Lsn.t -> result
+(** Rewind [page] in place so it reflects only log records with
+    LSN <= [as_of].  A page whose LSN is already at or below [as_of] is
+    untouched.  Raises {!Rw_wal.Log_manager.Log_truncated} when the chain
+    leaves the retention window, {!Chain_broken} on corruption. *)

@@ -1,0 +1,37 @@
+module Lsn = Rw_storage.Lsn
+module Log_record = Rw_wal.Log_record
+module Log_manager = Rw_wal.Log_manager
+
+type t = { mutable retention_us : float option }
+
+let create ?retention_us () = { retention_us }
+let set_interval t v = t.retention_us <- v
+let interval t = t.retention_us
+
+let checkpoint_wall log lsn =
+  match (Log_manager.read_nocost log lsn).Log_record.body with
+  | Log_record.Checkpoint { wall_us; _ } -> wall_us
+  | _ -> invalid_arg "Retention: not a checkpoint record"
+
+let cutoff t ~log ~now_us =
+  match t.retention_us with
+  | None -> None
+  | Some retention ->
+      let horizon = now_us -. retention in
+      (* Checkpoints, newest first.  We need the newest checkpoint whose
+         wall time is at or before the horizon — and we keep one more
+         checkpoint of history below it so transactions spanning the
+         boundary can still be rolled back. *)
+      let rec go = function
+        | newer :: older :: _ when checkpoint_wall log newer <= horizon -> Some older
+        | _ :: rest -> go rest
+        | [] -> None
+      in
+      go (Log_manager.checkpoints_before log (Log_manager.end_lsn log))
+
+let enforce t ~log ~now_us =
+  match cutoff t ~log ~now_us with
+  | Some lsn when Lsn.(lsn > Log_manager.first_lsn log) ->
+      Log_manager.truncate_before log lsn;
+      Some lsn
+  | _ -> None

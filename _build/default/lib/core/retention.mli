@@ -1,0 +1,22 @@
+(** Log retention (paper §4.3: [ALTER DATABASE ... SET UNDO_INTERVAL]).
+
+    Page-oriented undo needs the transaction log kept for as long as users
+    may want to rewind.  Enforcement truncates the log below the newest
+    checkpoint older than the retention window — keeping one extra
+    checkpoint of slack so that transactions in flight at the boundary can
+    still be analysed and undone. *)
+
+type t
+
+val create : ?retention_us:float -> unit -> t
+(** No retention bound by default (keep everything). *)
+
+val set_interval : t -> float option -> unit
+val interval : t -> float option
+
+val cutoff : t -> log:Rw_wal.Log_manager.t -> now_us:float -> Rw_storage.Lsn.t option
+(** The LSN below which the log is no longer needed, if any. *)
+
+val enforce : t -> log:Rw_wal.Log_manager.t -> now_us:float -> Rw_storage.Lsn.t option
+(** Truncate and return the new lower boundary (or [None] if nothing could
+    be truncated). *)

@@ -1,0 +1,53 @@
+module Lsn = Rw_storage.Lsn
+module Log_record = Rw_wal.Log_record
+module Log_manager = Rw_wal.Log_manager
+
+exception Out_of_retention of float
+
+type result = { split_lsn : Lsn.t; base_checkpoint : Lsn.t; commits_seen : int }
+
+let checkpoint_wall log lsn =
+  match (Log_manager.read log lsn).Log_record.body with
+  | Log_record.Checkpoint { wall_us; _ } -> wall_us
+  | _ -> invalid_arg "Split_lsn: master record is not a checkpoint"
+
+(* Newest retained checkpoint taken at or before [wall_us]. *)
+let base_checkpoint log ~wall_us =
+  let rec go = function
+    | [] -> None
+    | lsn :: older -> if checkpoint_wall log lsn <= wall_us then Some lsn else go older
+  in
+  go (Log_manager.checkpoints_before log (Log_manager.end_lsn log))
+
+let find ~log ~wall_us =
+  let start =
+    match base_checkpoint log ~wall_us with
+    | Some lsn -> Some lsn
+    | None ->
+        (* No checkpoint old enough.  If the log still reaches back to the
+           database's creation we can scan from its head; otherwise the
+           requested time is outside the retention window. *)
+        if Lsn.to_int (Log_manager.first_lsn log) > 1 then raise (Out_of_retention wall_us)
+        else None
+  in
+  let scan_from = match start with Some lsn -> lsn | None -> Log_manager.first_lsn log in
+  let commits = ref 0 in
+  let split = ref scan_from in
+  (try
+     Log_manager.iter_range log ~from:scan_from ~upto:(Log_manager.end_lsn log) (fun lsn r ->
+         match r.Log_record.body with
+         | Log_record.Commit { wall_us = w } ->
+             if w <= wall_us then begin
+               incr commits;
+               (* The snapshot must contain this commit: split just after. *)
+               split := Log_manager.next_lsn_after log lsn
+             end
+             else raise Exit
+         | Log_record.Checkpoint { wall_us = w; _ } -> if w > wall_us then raise Exit
+         | _ -> ())
+   with Exit -> ());
+  {
+    split_lsn = !split;
+    base_checkpoint = (match start with Some lsn -> lsn | None -> Lsn.nil);
+    commits_seen = !commits;
+  }

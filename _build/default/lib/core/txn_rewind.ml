@@ -1,0 +1,143 @@
+module Lsn = Rw_storage.Lsn
+module Page = Rw_storage.Page
+module Page_id = Rw_storage.Page_id
+module Slotted_page = Rw_storage.Slotted_page
+module Txn_id = Rw_wal.Txn_id
+module Log_record = Rw_wal.Log_record
+module Log_manager = Rw_wal.Log_manager
+module Access_ctx = Rw_access.Access_ctx
+module Txn_manager = Rw_txn.Txn_manager
+
+type candidate = {
+  txn : Txn_id.t;
+  last_lsn : Lsn.t;
+  commit_wall_us : float option;
+  page_ops : int;
+}
+
+let committed_transactions ~log ~since =
+  let table : (int, candidate) Hashtbl.t = Hashtbl.create 64 in
+  Log_manager.iter_range log ~from:since ~upto:(Log_manager.end_lsn log) (fun lsn r ->
+      let txn = r.Log_record.txn in
+      if not (Txn_id.is_nil txn) then begin
+        let key = Txn_id.to_int txn in
+        let prev =
+          match Hashtbl.find_opt table key with
+          | Some c -> c
+          | None -> { txn; last_lsn = Lsn.nil; commit_wall_us = None; page_ops = 0 }
+        in
+        let c =
+          match r.Log_record.body with
+          | Log_record.Commit { wall_us } -> { prev with commit_wall_us = Some wall_us }
+          | Log_record.Page_op _ ->
+              { prev with last_lsn = lsn; page_ops = prev.page_ops + 1 }
+          | Log_record.Clr _ ->
+              (* A rolled-back (sub)chain: not a clean undo candidate. *)
+              { prev with commit_wall_us = None; last_lsn = lsn }
+          | _ -> prev
+        in
+        Hashtbl.replace table key c
+      end);
+  Hashtbl.fold (fun _ c acc -> if c.commit_wall_us <> None then c :: acc else acc) table []
+  |> List.sort (fun a b -> Lsn.compare b.last_lsn a.last_lsn)
+
+type conflict = { page : Page_id.t; lsn : Lsn.t; reason : string }
+
+type outcome = Undone of { ops : int } | Conflicts of conflict list
+
+(* The victim's page operations, newest first. *)
+let collect_ops ~log victim =
+  let rec walk lsn acc =
+    if Lsn.is_nil lsn then acc
+    else
+      let r = Log_manager.read log lsn in
+      match r.Log_record.body with
+      | Log_record.Page_op { page; op; _ } ->
+          walk r.Log_record.prev_txn_lsn ((lsn, page, op) :: acc)
+      | Log_record.Begin -> acc
+      | _ -> walk r.Log_record.prev_txn_lsn acc
+  in
+  List.rev (walk victim.last_lsn [])
+
+(* Check that [op]'s after-state is still physically present on [p] (a
+   scratch copy of the page, already rewound past the victim's later
+   operations), so its inverse applies cleanly.  Conservative: any doubt
+   is a conflict. *)
+let check_op p lsn page op =
+  let fail reason = Some { page; lsn; reason } in
+  let current f = f p in
+  match op with
+  | Log_record.Insert_row { slot; row } ->
+      current (fun p ->
+          if slot >= Slotted_page.count p then fail "inserted slot no longer exists"
+          else if Slotted_page.get p ~at:slot <> row then
+            fail "inserted row was modified or moved since"
+          else None)
+  | Log_record.Update_row { slot; after; _ } ->
+      current (fun p ->
+          if slot >= Slotted_page.count p then fail "updated slot no longer exists"
+          else if Slotted_page.get p ~at:slot <> after then
+            fail "row was updated again since"
+          else None)
+  | Log_record.Delete_row { slot; row } ->
+      current (fun p ->
+          if slot > Slotted_page.count p then fail "page shrank since the delete"
+          else if Slotted_page.free_space p < String.length row then
+            fail "no space to reinstate the deleted row"
+          else
+            (* Reinstating at [slot] must preserve key order on sorted
+               pages; verify the insertion point agrees. *)
+            match Slotted_page.find_key p (Rw_access.Rowfmt.row_key row) with
+            | Either.Left _ -> fail "key was reinserted since the delete"
+            | Either.Right at when at <> slot -> fail "neighbouring rows changed since"
+            | Either.Right _ -> None)
+  | Log_record.Set_header { field; after; _ } ->
+      current (fun p ->
+          if Log_record.get_header p field <> after then fail "header changed since" else None)
+  | Log_record.Format _ | Log_record.Preformat _ | Log_record.Full_image _ ->
+      fail "structural page operation (allocation/split); use an as-of snapshot instead"
+
+let undo_transaction ~ctx ~log ~victim ~wall_us =
+  let ops = collect_ops ~log victim in
+  (* Dry run newest-first on scratch copies of the affected pages: each
+     operation is checked against the page as rewound past the victim's
+     own later operations, then undone on the copy.  Nothing real is
+     touched until every check passes. *)
+  let copies : (int, Page.t) Hashtbl.t = Hashtbl.create 8 in
+  let copy_of page =
+    let key = Page_id.to_int page in
+    match Hashtbl.find_opt copies key with
+    | Some p -> p
+    | None ->
+        let p = Access_ctx.read ctx page (fun p -> Page.copy p) in
+        Hashtbl.replace copies key p;
+        p
+  in
+  let conflicts =
+    List.filter_map
+      (fun (lsn, page, op) ->
+        let p = copy_of page in
+        match check_op p lsn page op with
+        | Some conflict -> Some conflict
+        | None ->
+            Log_record.undo op p;
+            None)
+      ops
+  in
+  if conflicts <> [] then Conflicts conflicts
+  else begin
+    let txns = Access_ctx.txns ctx in
+    let txn = Txn_manager.begin_txn txns in
+    let applied = ref 0 in
+    List.iter
+      (fun (_, page, op) ->
+        match Log_record.invert op with
+        | Some inverse ->
+            Access_ctx.modify ctx txn page inverse;
+            incr applied
+        | None -> ())
+      ops;
+    Txn_manager.commit txns txn ~wall_us;
+    Txn_manager.finished txns txn;
+    Undone { ops = !applied }
+  end

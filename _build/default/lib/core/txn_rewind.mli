@@ -1,0 +1,46 @@
+(** Selective undo of one committed transaction — the paper's future work
+    (§8: "We are working on extending our scheme to undo a specific
+    transaction").
+
+    The victim's operations are read from its backward chain in the log
+    and compensated by a fresh, normally-logged transaction.  Because the
+    victim committed in the past, other transactions may have built on its
+    effects; each operation is therefore checked against the {e current}
+    page content first, and the undo is attempted only when every
+    operation's after-state is still physically in place.  Anything else —
+    including structural operations such as page splits — is reported as a
+    conflict rather than guessed at, which mirrors the paper's stance that
+    reconciliation beyond this point needs application knowledge. *)
+
+type candidate = {
+  txn : Rw_wal.Txn_id.t;
+  last_lsn : Rw_storage.Lsn.t;
+  commit_wall_us : float option;  (** None while in flight or aborted *)
+  page_ops : int;
+}
+
+val committed_transactions :
+  log:Rw_wal.Log_manager.t -> since:Rw_storage.Lsn.t -> candidate list
+(** Committed user transactions found in the retained log from [since],
+    newest first.  Use the commit wall-clock time to locate "the
+    transaction that ran at 14:07". *)
+
+type conflict = {
+  page : Rw_storage.Page_id.t;
+  lsn : Rw_storage.Lsn.t;  (** the victim's log record that cannot be undone *)
+  reason : string;
+}
+
+type outcome =
+  | Undone of { ops : int }  (** compensating transaction committed *)
+  | Conflicts of conflict list  (** nothing was changed *)
+
+val undo_transaction :
+  ctx:Rw_access.Access_ctx.t ->
+  log:Rw_wal.Log_manager.t ->
+  victim:candidate ->
+  wall_us:float ->
+  outcome
+(** Undo [victim]'s row operations in a new transaction (committed at
+    [wall_us]).  All-or-nothing: conflicts are detected before any page is
+    modified. *)

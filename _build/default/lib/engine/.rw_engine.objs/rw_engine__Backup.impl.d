@@ -1,0 +1,1 @@
+lib/engine/backup.ml: Database Fun Hashtbl List Printf Rw_buffer Rw_core Rw_recovery Rw_storage Rw_wal

@@ -1,0 +1,1 @@
+lib/engine/backup.mli: Database Rw_storage

@@ -1,0 +1,1 @@
+lib/engine/database.mli: Row Rw_access Rw_buffer Rw_catalog Rw_core Rw_recovery Rw_storage Rw_txn Rw_wal

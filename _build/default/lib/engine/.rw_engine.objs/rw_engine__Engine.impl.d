@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Database Hashtbl List Option Rw_core Rw_storage

@@ -1,0 +1,1 @@
+lib/engine/index.ml: Bytes Char Int64 List Row Rw_access Rw_catalog Rw_wal String

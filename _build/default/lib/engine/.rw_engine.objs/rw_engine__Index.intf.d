@@ -1,0 +1,1 @@
+lib/engine/index.mli: Row Rw_access Rw_catalog Rw_txn

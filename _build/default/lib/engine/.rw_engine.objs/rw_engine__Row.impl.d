@@ -1,0 +1,1 @@
+lib/engine/row.ml: Format Int64 List Printf Rw_catalog Rw_wal String

@@ -1,0 +1,1 @@
+lib/engine/time_travel.ml: Backup Database Format List Rw_buffer Rw_core Rw_storage Rw_wal

@@ -1,0 +1,1 @@
+lib/engine/time_travel.mli: Backup Database Format

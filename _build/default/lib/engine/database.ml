@@ -1,0 +1,544 @@
+module Lsn = Rw_storage.Lsn
+module Page_id = Rw_storage.Page_id
+module Disk = Rw_storage.Disk
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+module Log_manager = Rw_wal.Log_manager
+module Buffer_pool = Rw_buffer.Buffer_pool
+module Lock_manager = Rw_txn.Lock_manager
+module Txn_manager = Rw_txn.Txn_manager
+module Access_ctx = Rw_access.Access_ctx
+module Alloc_map = Rw_access.Alloc_map
+module Btree = Rw_access.Btree
+module Heap = Rw_access.Heap
+module Boot = Rw_access.Boot
+module Schema = Rw_catalog.Schema
+module System_tables = Rw_catalog.System_tables
+module Recovery = Rw_recovery.Recovery
+module As_of_snapshot = Rw_core.As_of_snapshot
+module Retention = Rw_core.Retention
+
+type txn = Txn_manager.txn
+
+exception Read_only of string
+
+type t = {
+  name : string;
+  clock : Sim_clock.t;
+  media : Media.t;
+  log_media : Media.t;
+  disk : Disk.t;
+  log : Log_manager.t;
+  pool : Buffer_pool.t;
+  locks : Lock_manager.t;
+  txns : Txn_manager.t;
+  ctx : Access_ctx.t;
+  mutable alloc : Alloc_map.t;
+  read_only : bool;
+  snapshot : As_of_snapshot.t option;
+  mutable cow : Rw_core.Cow_snapshot.t option;
+  retention : Retention.t;
+  checkpoint_interval_us : float;
+  mutable last_checkpoint_wall : float;
+  mutable recovery_stats : Recovery.stats option;
+  pool_capacity : int;
+}
+
+let name t = t.name
+let clock t = t.clock
+let now_us t = Sim_clock.now_us t.clock
+let disk t = t.disk
+let log t = t.log
+let pool t = t.pool
+let ctx t = t.ctx
+let txn_manager t = t.txns
+let alloc t = t.alloc
+let is_read_only t = t.read_only
+let split_lsn t = Option.map As_of_snapshot.split_lsn t.snapshot
+let snapshot_handle t = t.snapshot
+let set_fpi_frequency t n = Access_ctx.set_fpi_frequency t.ctx n
+let last_recovery_stats t = t.recovery_stats
+
+let guard_writable t =
+  if t.read_only then raise (Read_only t.name)
+
+let assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequency
+    ~checkpoint_interval_us ~read_only ~snapshot ~pool_opt () =
+  let pool =
+    match pool_opt with
+    | Some pool -> pool
+    | None ->
+        Buffer_pool.create ~capacity:pool_capacity ~source:(Buffer_pool.of_disk disk)
+          ~wal_flush:(fun lsn -> Log_manager.flush log ~upto:lsn)
+          ()
+  in
+  let locks = Lock_manager.create () in
+  let txns = Txn_manager.create ~log ~locks in
+  let ctx = Access_ctx.create ~pool ~txns ~log ~clock ~fpi_frequency () in
+  {
+    name;
+    clock;
+    media;
+    log_media;
+    disk;
+    log;
+    pool;
+    locks;
+    txns;
+    ctx;
+    alloc = Alloc_map.open_ ctx;
+    read_only;
+    snapshot;
+    cow = None;
+    retention = Retention.create ();
+    checkpoint_interval_us;
+    last_checkpoint_wall = Sim_clock.now_us clock;
+    recovery_stats = None;
+    pool_capacity;
+  }
+
+let checkpoint ?(flush_pages = true) t =
+  let lsn =
+    Recovery.checkpoint ~log:t.log ~pool:t.pool ~txns:t.txns ~wall_us:(now_us t) ~flush_pages ()
+  in
+  t.last_checkpoint_wall <- now_us t;
+  (* Retention rides on checkpoints: log older than the undo interval is
+     reclaimed here (paper §4.3). *)
+  ignore (Retention.enforce t.retention ~log:t.log ~now_us:(now_us t));
+  lsn
+
+let create ~name ~clock ~media ?log_media ?(pool_capacity = 512) ?(log_cache_blocks = 128)
+    ?(log_block_bytes = 65536) ?(fpi_frequency = 0) ?(checkpoint_interval_us = 30_000_000.0) ()
+    =
+  let log_media = Option.value log_media ~default:media in
+  let disk = Disk.create ~clock ~media () in
+  let log =
+    Log_manager.create ~clock ~media:log_media ~cache_blocks:log_cache_blocks
+      ~block_bytes:log_block_bytes ()
+  in
+  let t =
+    assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequency
+      ~checkpoint_interval_us ~read_only:false ~snapshot:None ~pool_opt:None ()
+  in
+  (* Bootstrap: boot page, page-id counter, allocation map, catalog. *)
+  let txn = Txn_manager.begin_txn t.txns in
+  Boot.init t.ctx txn;
+  Boot.set t.ctx txn Boot.key_next_page_id 2L;
+  Alloc_map.init t.ctx txn;
+  t.alloc <- Alloc_map.open_ t.ctx;
+  System_tables.init t.ctx t.alloc txn;
+  Txn_manager.commit t.txns txn ~wall_us:(now_us t);
+  Txn_manager.finished t.txns txn;
+  ignore (checkpoint t);
+  t
+
+(* --- transactions --- *)
+
+let begin_txn t =
+  guard_writable t;
+  Txn_manager.begin_txn t.txns
+
+let maybe_auto_checkpoint t =
+  if now_us t -. t.last_checkpoint_wall >= t.checkpoint_interval_us then ignore (checkpoint t)
+
+let commit t txn =
+  Txn_manager.commit t.txns txn ~wall_us:(now_us t);
+  Txn_manager.finished t.txns txn;
+  maybe_auto_checkpoint t
+
+let rollback t txn =
+  Txn_manager.rollback t.txns txn ~write_page:(Access_ctx.page_writer t.ctx);
+  Txn_manager.finished t.txns txn
+
+let with_txn t f =
+  let txn = begin_txn t in
+  match f txn with
+  | v ->
+      commit t txn;
+      v
+  | exception e ->
+      (match Txn_manager.state txn with
+      | Rw_txn.Txn_manager.Active -> rollback t txn
+      | _ -> ());
+      raise e
+
+(* --- DDL --- *)
+
+let create_table t txn ~table ~columns ?(kind = Schema.Btree_table) () =
+  guard_writable t;
+  Txn_manager.lock t.txns txn (Lock_manager.Table 0) Lock_manager.IX;
+  System_tables.create_table t.ctx t.alloc txn ~name:table ~kind ~columns
+
+let drop_table t txn table =
+  guard_writable t;
+  System_tables.drop_table t.ctx t.alloc txn table
+
+let tables t = System_tables.list_tables t.ctx
+let table t name = System_tables.find t.ctx name
+
+let find_table t name =
+  match System_tables.find t.ctx name with
+  | Some tab -> tab
+  | None -> raise (System_tables.No_such_table name)
+
+(* --- secondary indexes --- *)
+
+exception No_such_index of string
+
+let column_position (tab : Schema.table) column =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "table %s has no column %s" tab.Schema.name column)
+    | (c : Schema.column) :: _ when c.Schema.name = column -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 tab.Schema.columns
+
+let indexes t ~table = (find_table t table).Schema.indexes
+
+let indexed_values (tab : Schema.table) row =
+  List.map
+    (fun (ix : Schema.index) -> (ix, List.nth row (column_position tab ix.Schema.column)))
+    tab.Schema.indexes
+
+let create_index t txn ~table ?name ~column () =
+  guard_writable t;
+  let tab = find_table t table in
+  if tab.Schema.kind <> Schema.Btree_table then
+    invalid_arg "create_index: only B-tree tables support secondary indexes";
+  let pos = column_position tab column in
+  if pos = 0 then invalid_arg "create_index: the key column is already the primary index";
+  let index_name = Option.value name ~default:(Printf.sprintf "idx_%s_%s" table column) in
+  if List.exists (fun (ix : Schema.index) -> ix.Schema.index_name = index_name) tab.Schema.indexes
+  then invalid_arg (Printf.sprintf "index %s already exists" index_name);
+  let root = Btree.root (Btree.create t.ctx t.alloc txn) in
+  let ix = { Schema.index_name; column; index_root = root } in
+  (* Backfill from existing rows. *)
+  Btree.iter t.ctx (Btree.of_root tab.Schema.root) ~f:(fun key payload ->
+      let row = Row.decode tab ~key ~payload in
+      Index.add t.ctx t.alloc txn ix ~value:(List.nth row pos) ~pk:key);
+  System_tables.update_table t.ctx t.alloc txn
+    { tab with Schema.indexes = ix :: tab.Schema.indexes };
+  ix
+
+let drop_index t txn ~table ~name =
+  guard_writable t;
+  let tab = find_table t table in
+  match
+    List.partition (fun (ix : Schema.index) -> ix.Schema.index_name = name) tab.Schema.indexes
+  with
+  | [ victim ], rest ->
+      Btree.drop t.ctx t.alloc txn (Btree.of_root victim.Schema.index_root);
+      System_tables.update_table t.ctx t.alloc txn { tab with Schema.indexes = rest }
+  | _ -> raise (No_such_index name)
+
+let lookup_by_index t ~table ~column ~value =
+  let tab = find_table t table in
+  let pos = column_position tab column in
+  match
+    List.find_opt (fun (ix : Schema.index) -> ix.Schema.column = column) tab.Schema.indexes
+  with
+  | None -> raise (No_such_index column)
+  | Some ix ->
+      Index.lookup t.ctx ix ~value
+      |> List.filter_map (fun pk ->
+             match Btree.find t.ctx (Btree.of_root tab.Schema.root) pk with
+             | Some payload ->
+                 let row = Row.decode tab ~key:pk ~payload in
+                 (* Hash collisions: verify the predicate. *)
+                 if Row.equal_value (List.nth row pos) value then Some row else None
+             | None -> None)
+
+(* --- DML --- *)
+
+let insert t txn ~table values =
+  guard_writable t;
+  let tab = find_table t table in
+  let key, payload = Row.encode tab values in
+  Txn_manager.lock t.txns txn (Lock_manager.Table tab.Schema.id) Lock_manager.IX;
+  Txn_manager.lock t.txns txn (Lock_manager.Row (tab.Schema.id, key)) Lock_manager.X;
+  match tab.Schema.kind with
+  | Schema.Btree_table ->
+      Btree.insert t.ctx t.alloc txn (Btree.of_root tab.Schema.root) ~key ~payload;
+      List.iter
+        (fun (ix, v) -> Index.add t.ctx t.alloc txn ix ~value:v ~pk:key)
+        (indexed_values tab values)
+  | Schema.Heap_table ->
+      let full = Rw_wal.Codec.encoder () in
+      Rw_wal.Codec.i64 full key;
+      ignore
+        (Heap.insert t.ctx t.alloc txn (Heap.of_first tab.Schema.root)
+           (Rw_wal.Codec.to_string full ^ payload))
+
+let update t txn ~table values =
+  guard_writable t;
+  let tab = find_table t table in
+  let key, payload = Row.encode tab values in
+  Txn_manager.lock t.txns txn (Lock_manager.Table tab.Schema.id) Lock_manager.IX;
+  Txn_manager.lock t.txns txn (Lock_manager.Row (tab.Schema.id, key)) Lock_manager.X;
+  match tab.Schema.kind with
+  | Schema.Btree_table ->
+      let old_row =
+        if tab.Schema.indexes = [] then None
+        else
+          Option.map
+            (fun p -> Row.decode tab ~key ~payload:p)
+            (Btree.find t.ctx (Btree.of_root tab.Schema.root) key)
+      in
+      Btree.update t.ctx t.alloc txn (Btree.of_root tab.Schema.root) ~key ~payload;
+      (match old_row with
+      | None -> ()
+      | Some old_row ->
+          List.iter2
+            (fun (ix, old_v) (_, new_v) ->
+              if not (Row.equal_value old_v new_v) then begin
+                Index.remove t.ctx t.alloc txn ix ~value:old_v ~pk:key;
+                Index.add t.ctx t.alloc txn ix ~value:new_v ~pk:key
+              end)
+            (indexed_values tab old_row) (indexed_values tab values))
+  | Schema.Heap_table ->
+      let found = ref false in
+      Heap.iter t.ctx (Heap.of_first tab.Schema.root) ~f:(fun rid stored ->
+          if (not !found) && String.length stored >= 8 && String.get_int64_le stored 0 = key
+          then begin
+            found := true;
+            let full = Rw_wal.Codec.encoder () in
+            Rw_wal.Codec.i64 full key;
+            Heap.update t.ctx txn (Heap.of_first tab.Schema.root) rid
+              (Rw_wal.Codec.to_string full ^ payload)
+          end);
+      if not !found then raise Not_found
+
+let delete t txn ~table ~key =
+  guard_writable t;
+  let tab = find_table t table in
+  Txn_manager.lock t.txns txn (Lock_manager.Table tab.Schema.id) Lock_manager.IX;
+  Txn_manager.lock t.txns txn (Lock_manager.Row (tab.Schema.id, key)) Lock_manager.X;
+  match tab.Schema.kind with
+  | Schema.Btree_table ->
+      let old_row =
+        if tab.Schema.indexes = [] then None
+        else
+          Option.map
+            (fun p -> Row.decode tab ~key ~payload:p)
+            (Btree.find t.ctx (Btree.of_root tab.Schema.root) key)
+      in
+      Btree.delete t.ctx txn (Btree.of_root tab.Schema.root) ~key;
+      (match old_row with
+      | None -> ()
+      | Some old_row ->
+          List.iter
+            (fun (ix, v) -> Index.remove t.ctx t.alloc txn ix ~value:v ~pk:key)
+            (indexed_values tab old_row))
+  | Schema.Heap_table ->
+      let found = ref false in
+      Heap.iter t.ctx (Heap.of_first tab.Schema.root) ~f:(fun rid stored ->
+          if (not !found) && String.length stored >= 8 && String.get_int64_le stored 0 = key
+          then begin
+            found := true;
+            Heap.delete t.ctx txn (Heap.of_first tab.Schema.root) rid
+          end);
+      if not !found then raise Not_found
+
+let heap_row tab stored =
+  let key = String.get_int64_le stored 0 in
+  Row.decode tab ~key ~payload:(String.sub stored 8 (String.length stored - 8))
+
+let get t ~table ~key =
+  let tab = find_table t table in
+  match tab.Schema.kind with
+  | Schema.Btree_table ->
+      Option.map
+        (fun payload -> Row.decode tab ~key ~payload)
+        (Btree.find t.ctx (Btree.of_root tab.Schema.root) key)
+  | Schema.Heap_table ->
+      let result = ref None in
+      Heap.iter t.ctx (Heap.of_first tab.Schema.root) ~f:(fun _ stored ->
+          if !result = None && String.length stored >= 8 && String.get_int64_le stored 0 = key
+          then result := Some (heap_row tab stored));
+      !result
+
+let range t ~table ~lo ~hi ~f =
+  let tab = find_table t table in
+  match tab.Schema.kind with
+  | Schema.Btree_table ->
+      Btree.range t.ctx (Btree.of_root tab.Schema.root) ~lo ~hi ~f:(fun key payload ->
+          f (Row.decode tab ~key ~payload))
+  | Schema.Heap_table ->
+      Heap.iter t.ctx (Heap.of_first tab.Schema.root) ~f:(fun _ stored ->
+          let key = String.get_int64_le stored 0 in
+          if key >= lo && key <= hi then f (heap_row tab stored))
+
+let scan t ~table ~f = range t ~table ~lo:Int64.min_int ~hi:Int64.max_int ~f
+
+let row_count t ~table =
+  let n = ref 0 in
+  scan t ~table ~f:(fun _ -> incr n);
+  !n
+
+(* --- retention --- *)
+
+let set_retention t v = Retention.set_interval t.retention v
+let retention t = Retention.interval t.retention
+let enforce_retention t = Retention.enforce t.retention ~log:t.log ~now_us:(now_us t)
+
+(* --- snapshots --- *)
+
+let view_over_pool ~name ~base ~pool ~snapshot =
+  let locks = Lock_manager.create () in
+  let txns = Txn_manager.create ~log:base.log ~locks in
+  let ctx = Access_ctx.create ~pool ~txns ~log:base.log ~clock:base.clock () in
+  {
+    base with
+    name;
+    pool;
+    locks;
+    txns;
+    ctx;
+    (* Read-only views never allocate; scanning the allocation map here
+       would needlessly materialise snapshot pages. *)
+    alloc = Alloc_map.empty_handle ();
+    read_only = true;
+    snapshot;
+    cow = None;
+    recovery_stats = None;
+  }
+
+let create_cow_snapshot t ~name =
+  guard_writable t;
+  let cow =
+    Rw_core.Cow_snapshot.create ~name ~ctx:t.ctx ~primary_pool:t.pool ~primary_disk:t.disk
+      ~txns:t.txns ~log:t.log ~clock:t.clock ~media:t.media ()
+  in
+  t.last_checkpoint_wall <- now_us t;
+  let view = view_over_pool ~name ~base:t ~pool:(Rw_core.Cow_snapshot.pool cow) ~snapshot:None in
+  view.cow <- Some cow;
+  view
+
+let cow_handle t = t.cow
+
+let create_as_of_snapshot t ~name ~wall_us =
+  guard_writable t;
+  let snap =
+    As_of_snapshot.create ~name ~wall_us ~log:t.log ~primary_pool:t.pool ~primary_disk:t.disk
+      ~txns:t.txns ~clock:t.clock ~media:t.media ()
+  in
+  t.last_checkpoint_wall <- now_us t;
+  view_over_pool ~name ~base:t ~pool:(As_of_snapshot.pool snap) ~snapshot:(Some snap)
+
+(* --- persistence --- *)
+
+let magic = "RWDB0001"
+
+let save t ~path =
+  guard_writable t;
+  (* Quiesce: every page and the whole log become durable first. *)
+  ignore (checkpoint t);
+  let e = Rw_wal.Codec.encoder () in
+  Rw_wal.Codec.str16 e t.name;
+  Rw_wal.Codec.f64 e (now_us t);
+  (match Retention.interval t.retention with
+  | Some r ->
+      Rw_wal.Codec.u8 e 1;
+      Rw_wal.Codec.f64 e r
+  | None -> Rw_wal.Codec.u8 e 0);
+  Rw_wal.Codec.u32 e (Access_ctx.fpi_frequency t.ctx);
+  Rw_wal.Codec.u32 e (Disk.page_count t.disk);
+  let written = Disk.written_pages t.disk in
+  Rw_wal.Codec.u32 e written;
+  for i = 0 to Disk.page_count t.disk - 1 do
+    let pid = Page_id.of_int i in
+    if Disk.has_page t.disk pid then begin
+      Rw_wal.Codec.u32 e i;
+      Rw_wal.Codec.str32 e (Bytes.to_string (Disk.read_page_nocost t.disk pid))
+    end
+  done;
+  let entries = Log_manager.dump_entries t.log in
+  Rw_wal.Codec.u32 e (List.length entries);
+  List.iter
+    (fun (lsn, data) ->
+      Rw_wal.Codec.i64 e (Lsn.to_int64 lsn);
+      Rw_wal.Codec.str32 e data)
+    entries;
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      output_string oc (Rw_wal.Codec.to_string e))
+
+let load ~clock ~media ?log_media ?pool_capacity:(pool_cap = 512) ?(log_cache_blocks = 128)
+    ?(log_block_bytes = 65536) ~path () =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if String.length contents < 8 || String.sub contents 0 8 <> magic then
+    failwith (Printf.sprintf "Database.load: %s is not a rewinddb image" path);
+  let d = Rw_wal.Codec.decoder_at contents ~pos:8 in
+  let name = Rw_wal.Codec.get_str16 d in
+  let saved_wall = Rw_wal.Codec.get_f64 d in
+  let retention_us =
+    if Rw_wal.Codec.get_u8 d = 1 then Some (Rw_wal.Codec.get_f64 d) else None
+  in
+  let fpi_frequency = Rw_wal.Codec.get_u32 d in
+  let page_count = Rw_wal.Codec.get_u32 d in
+  let written = Rw_wal.Codec.get_u32 d in
+  (* The simulated clock resumes from where the image left off, so saved
+     history keeps its wall-clock meaning for as-of queries. *)
+  if Sim_clock.now_us clock < saved_wall then
+    Sim_clock.advance_us clock (saved_wall -. Sim_clock.now_us clock);
+  let log_media = Option.value log_media ~default:media in
+  let disk = Disk.create ~clock ~media () in
+  for _ = 1 to written do
+    let pid = Page_id.of_int (Rw_wal.Codec.get_u32 d) in
+    let image = Rw_wal.Codec.get_str32 d in
+    Disk.write_page_nocost disk pid (Bytes.of_string image)
+  done;
+  Disk.extend disk page_count;
+  let log =
+    Log_manager.create ~clock ~media:log_media ~cache_blocks:log_cache_blocks
+      ~block_bytes:log_block_bytes ()
+  in
+  let n = Rw_wal.Codec.get_u32 d in
+  let entries =
+    List.init n (fun _ ->
+        let lsn = Lsn.of_int64 (Rw_wal.Codec.get_i64 d) in
+        let data = Rw_wal.Codec.get_str32 d in
+        (lsn, data))
+  in
+  Log_manager.restore_entries log entries;
+  let t =
+    assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity:pool_cap ~fpi_frequency
+      ~checkpoint_interval_us:30_000_000.0 ~read_only:false ~snapshot:None ~pool_opt:None ()
+  in
+  Retention.set_interval t.retention retention_us;
+  (* The image was checkpoint-consistent, so restart recovery is a cheap
+     formality that also reseeds the transaction-id counter. *)
+  let stats = Recovery.recover ~log:t.log ~pool:t.pool in
+  Txn_manager.set_next_id t.txns (Rw_wal.Txn_id.next stats.Recovery.analysis.Recovery.max_txn_id);
+  t.recovery_stats <- Some stats;
+  t.alloc <- Alloc_map.open_ t.ctx;
+  t
+
+(* --- crash simulation --- *)
+
+let crash_and_reopen t =
+  guard_writable t;
+  Buffer_pool.drop_all t.pool;
+  Log_manager.crash t.log;
+  let fresh =
+    assemble ~name:t.name ~clock:t.clock ~media:t.media ~log_media:t.log_media ~disk:t.disk
+      ~log:t.log ~pool_capacity:t.pool_capacity
+      ~fpi_frequency:(Access_ctx.fpi_frequency t.ctx)
+      ~checkpoint_interval_us:t.checkpoint_interval_us ~read_only:false ~snapshot:None
+      ~pool_opt:None ()
+  in
+  let stats = Recovery.recover ~log:fresh.log ~pool:fresh.pool in
+  Txn_manager.set_next_id fresh.txns (Rw_wal.Txn_id.next stats.Recovery.analysis.Recovery.max_txn_id);
+  fresh.recovery_stats <- Some stats;
+  (* Allocation state may have changed during redo/undo; rebuild. *)
+  fresh.alloc <- Alloc_map.open_ fresh.ctx;
+  ignore (checkpoint fresh);
+  fresh

@@ -1,0 +1,159 @@
+(** A database: disk, log, buffer pool, transactions, catalog — plus the
+    paper's additions: as-of snapshots, retention, and crash simulation.
+
+    A [t] is either a primary (read-write) database or a read-only view
+    (an as-of snapshot or a restored backup).  Snapshot views share the
+    primary's log and clock but read pages through the snapshot protocol,
+    so the catalog, allocation maps and user data all appear as of the
+    snapshot time. *)
+
+type t
+
+type txn = Rw_txn.Txn_manager.txn
+
+exception Read_only of string
+
+val create :
+  name:string ->
+  clock:Rw_storage.Sim_clock.t ->
+  media:Rw_storage.Media.t ->
+  ?log_media:Rw_storage.Media.t ->
+  ?pool_capacity:int ->
+  ?log_cache_blocks:int ->
+  ?log_block_bytes:int ->
+  ?fpi_frequency:int ->
+  ?checkpoint_interval_us:float ->
+  unit ->
+  t
+(** Create and initialise a fresh database (boot page, allocation map,
+    catalog), commit the initialisation and take a first checkpoint.
+    [fpi_frequency] is the paper's N (0 disables full-page-image logging);
+    [checkpoint_interval_us] (default 30 simulated seconds) triggers an
+    automatic checkpoint at commit when exceeded. *)
+
+(* Accessors *)
+val name : t -> string
+val clock : t -> Rw_storage.Sim_clock.t
+val now_us : t -> float
+val disk : t -> Rw_storage.Disk.t
+val log : t -> Rw_wal.Log_manager.t
+val pool : t -> Rw_buffer.Buffer_pool.t
+val ctx : t -> Rw_access.Access_ctx.t
+val txn_manager : t -> Rw_txn.Txn_manager.t
+val alloc : t -> Rw_access.Alloc_map.t
+val is_read_only : t -> bool
+val split_lsn : t -> Rw_storage.Lsn.t option
+(** The snapshot's split point ([None] on a primary database). *)
+
+val set_fpi_frequency : t -> int -> unit
+
+(* Transactions *)
+val begin_txn : t -> txn
+val commit : t -> txn -> unit
+val rollback : t -> txn -> unit
+val with_txn : t -> (txn -> 'a) -> 'a
+(** Begin, run, commit; roll back and re-raise on exception. *)
+
+(* DDL *)
+val create_table :
+  t ->
+  txn ->
+  table:string ->
+  columns:Rw_catalog.Schema.column list ->
+  ?kind:Rw_catalog.Schema.kind ->
+  unit ->
+  Rw_catalog.Schema.table
+
+val drop_table : t -> txn -> string -> unit
+val tables : t -> Rw_catalog.Schema.table list
+val table : t -> string -> Rw_catalog.Schema.table option
+
+(* Secondary indexes (maintained on every DML; stored as logged B-trees,
+   so they crash-recover and time-travel like base data). *)
+exception No_such_index of string
+
+val create_index :
+  t -> txn -> table:string -> ?name:string -> column:string -> unit -> Rw_catalog.Schema.index
+(** Create and backfill an index on a non-key column of a B-tree table. *)
+
+val drop_index : t -> txn -> table:string -> name:string -> unit
+val indexes : t -> table:string -> Rw_catalog.Schema.index list
+
+val lookup_by_index :
+  t -> table:string -> column:string -> value:Row.value -> Row.value list list
+(** Equality lookup through the column's index; raises {!No_such_index}
+    when the column is not indexed. *)
+
+(* DML / queries.  Rows are full typed rows, key column first. *)
+val insert : t -> txn -> table:string -> Row.value list -> unit
+val update : t -> txn -> table:string -> Row.value list -> unit
+val delete : t -> txn -> table:string -> key:int64 -> unit
+val get : t -> table:string -> key:int64 -> Row.value list option
+val range : t -> table:string -> lo:int64 -> hi:int64 -> f:(Row.value list -> unit) -> unit
+val scan : t -> table:string -> f:(Row.value list -> unit) -> unit
+val row_count : t -> table:string -> int
+
+(* Checkpoints, retention *)
+val checkpoint : ?flush_pages:bool -> t -> Rw_storage.Lsn.t
+val set_retention : t -> float option -> unit
+(** [SET UNDO_INTERVAL]: retention period in simulated microseconds. *)
+
+val retention : t -> float option
+val enforce_retention : t -> Rw_storage.Lsn.t option
+
+(* The paper's core: as-of snapshots *)
+val create_as_of_snapshot : t -> name:string -> wall_us:float -> t
+(** A read-only view of this database as of [wall_us].  Raises
+    {!Rw_core.Split_lsn.Out_of_retention} if the time precedes retained
+    log; raises {!Read_only} when invoked on a non-primary view. *)
+
+val snapshot_handle : t -> Rw_core.As_of_snapshot.t option
+(** The underlying snapshot object of a snapshot view (timings, sparse-file
+    statistics). *)
+
+(* Baseline: classic copy-on-write snapshots (paper §2.2/§7.1). *)
+val create_cow_snapshot : t -> name:string -> t
+(** A read-only view of this database as of {e now}, maintained by
+    copy-on-write interception of subsequent modifications.  Exists as the
+    measured baseline the paper argues against; raises
+    {!Rw_core.Cow_snapshot.Active_transactions} unless quiescent. *)
+
+val cow_handle : t -> Rw_core.Cow_snapshot.t option
+
+(* Persistence: dump / resume the durable state (pages + log + settings)
+   as a real file, so sessions survive process restarts.  The simulated
+   clock resumes from the saved wall time, keeping as-of history
+   meaningful across save/load. *)
+val save : t -> path:string -> unit
+(** Checkpoint, then write a self-contained image.  Raises {!Read_only}
+    on snapshot views. *)
+
+val load :
+  clock:Rw_storage.Sim_clock.t ->
+  media:Rw_storage.Media.t ->
+  ?log_media:Rw_storage.Media.t ->
+  ?pool_capacity:int ->
+  ?log_cache_blocks:int ->
+  ?log_block_bytes:int ->
+  path:string ->
+  unit ->
+  t
+(** Rebuild a database from {!save} output and run restart recovery.
+    Raises [Failure] on a file that is not a rewinddb image. *)
+
+(* Crash simulation *)
+val crash_and_reopen : t -> t
+(** Discard all volatile state (buffer pool, unflushed log) and run ARIES
+    restart recovery; returns the reopened database over the same durable
+    state.  The old handle must not be used afterwards. *)
+
+val last_recovery_stats : t -> Rw_recovery.Recovery.stats option
+
+(* Internal: assemble a read-only view over an arbitrary buffer pool.
+   Exposed for Backup. *)
+val view_over_pool :
+  name:string ->
+  base:t ->
+  pool:Rw_buffer.Buffer_pool.t ->
+  snapshot:Rw_core.As_of_snapshot.t option ->
+  t

@@ -1,0 +1,60 @@
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+
+exception Database_exists of string
+exception No_such_database of string
+
+type t = {
+  clock : Sim_clock.t;
+  media : Media.t;
+  log_media : Media.t;
+  dbs : (string, Database.t) Hashtbl.t;
+}
+
+let create ?(media = Media.ssd) ?log_media ?(seed_clock_us = 0.0) () =
+  {
+    clock = Sim_clock.create ~start_us:seed_clock_us ();
+    media;
+    log_media = Option.value log_media ~default:media;
+    dbs = Hashtbl.create 8;
+  }
+
+let clock t = t.clock
+let now_us t = Sim_clock.now_us t.clock
+let now_s t = Sim_clock.now_s t.clock
+let media t = t.media
+
+let register t name db =
+  if Hashtbl.mem t.dbs name then raise (Database_exists name);
+  Hashtbl.replace t.dbs name db;
+  db
+
+let create_database t ?fpi_frequency ?pool_capacity ?checkpoint_interval_us ?log_cache_blocks
+    ?log_block_bytes name =
+  if Hashtbl.mem t.dbs name then raise (Database_exists name);
+  let db =
+    Database.create ~name ~clock:t.clock ~media:t.media ~log_media:t.log_media ?fpi_frequency
+      ?pool_capacity ?checkpoint_interval_us ?log_cache_blocks ?log_block_bytes ()
+  in
+  register t name db
+
+let attach_database t db = register t (Database.name db) db
+let find_database t name = Hashtbl.find_opt t.dbs name
+
+let find_database_exn t name =
+  match find_database t name with Some db -> db | None -> raise (No_such_database name)
+
+let database_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.dbs [] |> List.sort compare
+
+let create_snapshot t ~of_ ~name ~wall_us =
+  let db = find_database_exn t of_ in
+  if Hashtbl.mem t.dbs name then raise (Database_exists name);
+  let snap = Database.create_as_of_snapshot db ~name ~wall_us in
+  register t name snap
+
+let drop_database t name =
+  let db = find_database_exn t name in
+  (match Database.snapshot_handle db with
+  | Some snap -> Rw_core.As_of_snapshot.drop snap
+  | None -> ());
+  Hashtbl.remove t.dbs name

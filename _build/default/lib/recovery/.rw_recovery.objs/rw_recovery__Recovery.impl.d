@@ -1,0 +1,1 @@
+lib/recovery/recovery.ml: Fun Hashtbl List Rw_buffer Rw_storage Rw_txn Rw_wal

@@ -1,0 +1,1 @@
+lib/recovery/recovery.mli: Hashtbl Rw_buffer Rw_storage Rw_txn Rw_wal

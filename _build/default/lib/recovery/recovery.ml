@@ -1,0 +1,181 @@
+module Lsn = Rw_storage.Lsn
+module Page = Rw_storage.Page
+module Page_id = Rw_storage.Page_id
+module Txn_id = Rw_wal.Txn_id
+module Log_record = Rw_wal.Log_record
+module Log_manager = Rw_wal.Log_manager
+module Buffer_pool = Rw_buffer.Buffer_pool
+module Latch = Rw_buffer.Latch
+module Txn_manager = Rw_txn.Txn_manager
+
+let checkpoint ~log ~pool ~txns ~wall_us ?(flush_pages = false) () =
+  if flush_pages then Buffer_pool.flush_all pool;
+  let record =
+    Log_record.make
+      (Log_record.Checkpoint
+         {
+           wall_us;
+           active_txns = Txn_manager.active_txns txns;
+           dirty_pages = Buffer_pool.dirty_page_table pool;
+         })
+  in
+  let lsn = Log_manager.append log record in
+  Log_manager.flush log ~upto:lsn;
+  Log_manager.set_last_checkpoint log lsn;
+  lsn
+
+type analysis = {
+  losers : (Txn_id.t, Lsn.t) Hashtbl.t;
+  dirty_pages : (int, Lsn.t) Hashtbl.t;
+  redo_start : Lsn.t;
+  max_txn_id : Txn_id.t;
+  records_scanned : int;
+}
+
+let analyze ~log ~start ~upto =
+  let losers = Hashtbl.create 16 in
+  let dirty_pages = Hashtbl.create 64 in
+  let max_txn = ref Txn_id.nil in
+  let scanned = ref 0 in
+  let see_txn txn = if Txn_id.compare txn !max_txn > 0 then max_txn := txn in
+  let see_page page lsn =
+    let k = Page_id.to_int page in
+    if not (Hashtbl.mem dirty_pages k) then Hashtbl.replace dirty_pages k lsn
+  in
+  Log_manager.iter_range log ~from:start ~upto (fun lsn r ->
+      incr scanned;
+      see_txn r.Log_record.txn;
+      match r.Log_record.body with
+      | Log_record.Checkpoint { active_txns; dirty_pages = dpt; _ } ->
+          List.iter
+            (fun (txn, last) ->
+              see_txn txn;
+              if not (Hashtbl.mem losers txn) then Hashtbl.replace losers txn last)
+            active_txns;
+          List.iter (fun (page, rec_lsn) -> see_page page rec_lsn) dpt
+      | Log_record.Begin -> Hashtbl.replace losers r.Log_record.txn lsn
+      | Log_record.Commit _ | Log_record.End -> Hashtbl.remove losers r.Log_record.txn
+      | Log_record.Abort ->
+          if Hashtbl.mem losers r.Log_record.txn then Hashtbl.replace losers r.Log_record.txn lsn
+      | Log_record.Page_op { page; _ } | Log_record.Clr { page; _ } ->
+          if not (Txn_id.is_nil r.Log_record.txn) then
+            Hashtbl.replace losers r.Log_record.txn lsn;
+          see_page page lsn);
+  let redo_start =
+    Hashtbl.fold (fun _ rec_lsn acc -> Lsn.min rec_lsn acc) dirty_pages upto
+  in
+  { losers; dirty_pages; redo_start; max_txn_id = !max_txn; records_scanned = !scanned }
+
+let redo_pass ~log ~pool ~analysis ~upto =
+  let redone = ref 0 in
+  Log_manager.iter_range log ~from:analysis.redo_start ~upto (fun lsn r ->
+      match r.Log_record.body with
+      | Log_record.Page_op { page; op; _ } | Log_record.Clr { page; op; _ } -> (
+          match Hashtbl.find_opt analysis.dirty_pages (Page_id.to_int page) with
+          | Some rec_lsn when Lsn.(lsn >= rec_lsn) ->
+              let frame = Buffer_pool.fetch pool page in
+              Fun.protect
+                ~finally:(fun () -> Buffer_pool.unpin pool frame)
+                (fun () ->
+                  Latch.with_latch (Buffer_pool.frame_latch frame) Latch.Exclusive (fun () ->
+                      let p = Buffer_pool.page frame in
+                      (* The LSN comparison makes redo idempotent. *)
+                      if Lsn.(Page.lsn p < lsn) then begin
+                        Log_record.redo page op p;
+                        Page.set_lsn p lsn;
+                        Buffer_pool.mark_dirty pool frame ~lsn;
+                        incr redone
+                      end))
+          | _ -> ())
+      | _ -> ());
+  !redone
+
+let undo_losers ~log ~losers ~write_clr ~apply =
+  let next_undo = Hashtbl.copy losers in
+  let tails = Hashtbl.copy losers in
+  let undone = ref 0 in
+  let pick () =
+    Hashtbl.fold
+      (fun txn lsn acc ->
+        match acc with Some (_, best) when Lsn.(best >= lsn) -> acc | _ -> Some (txn, lsn))
+      next_undo None
+  in
+  let finish txn =
+    if write_clr then begin
+      let tail = Hashtbl.find tails txn in
+      ignore (Log_manager.append log (Log_record.make ~txn ~prev_txn_lsn:tail Log_record.End))
+    end;
+    Hashtbl.remove next_undo txn;
+    Hashtbl.remove tails txn
+  in
+  let undo_op txn ~page ~op ~undo_next =
+    match Log_record.invert op with
+    | None -> ()
+    | Some inverse ->
+        apply page (fun p ->
+            incr undone;
+            if write_clr then begin
+              let prev_page_lsn = Page.lsn p in
+              let tail = Hashtbl.find tails txn in
+              let clr_lsn =
+                Log_manager.append log
+                  (Log_record.make ~txn ~prev_txn_lsn:tail
+                     (Log_record.Clr { page; prev_page_lsn; op = inverse; undo_next }))
+              in
+              Hashtbl.replace tails txn clr_lsn;
+              Log_record.redo page inverse p;
+              Some clr_lsn
+            end
+            else begin
+              Log_record.undo op p;
+              None
+            end)
+  in
+  let rec loop () =
+    match pick () with
+    | None -> ()
+    | Some (txn, lsn) ->
+        if Lsn.is_nil lsn then finish txn
+        else begin
+          let r = Log_manager.read log lsn in
+          (match r.Log_record.body with
+          | Log_record.Begin -> finish txn
+          | Log_record.Page_op { page; op; _ } ->
+              undo_op txn ~page ~op ~undo_next:r.Log_record.prev_txn_lsn;
+              Hashtbl.replace next_undo txn r.Log_record.prev_txn_lsn
+          | Log_record.Clr { undo_next; _ } -> Hashtbl.replace next_undo txn undo_next
+          | Log_record.Abort | Log_record.Commit _ | Log_record.End | Log_record.Checkpoint _ ->
+              Hashtbl.replace next_undo txn r.Log_record.prev_txn_lsn);
+          loop ()
+        end
+  in
+  loop ();
+  !undone
+
+type stats = { analysis : analysis; redone_ops : int; undone_ops : int; ended_losers : int }
+
+let recover ~log ~pool =
+  let start =
+    let c = Log_manager.last_checkpoint log in
+    if Lsn.is_nil c then Log_manager.first_lsn log else c
+  in
+  let upto = Log_manager.end_lsn log in
+  let analysis = analyze ~log ~start ~upto in
+  let redone_ops = redo_pass ~log ~pool ~analysis ~upto in
+  let ended_losers = Hashtbl.length analysis.losers in
+  let apply pid f =
+    let frame = Buffer_pool.fetch pool pid in
+    Fun.protect
+      ~finally:(fun () -> Buffer_pool.unpin pool frame)
+      (fun () ->
+        Latch.with_latch (Buffer_pool.frame_latch frame) Latch.Exclusive (fun () ->
+            let p = Buffer_pool.page frame in
+            match f p with
+            | Some lsn ->
+                Page.set_lsn p lsn;
+                Buffer_pool.mark_dirty pool frame ~lsn
+            | None -> ()))
+  in
+  let undone_ops = undo_losers ~log ~losers:analysis.losers ~write_clr:true ~apply in
+  Log_manager.flush_all log;
+  { analysis; redone_ops; undone_ops; ended_losers }

@@ -1,0 +1,63 @@
+(** ARIES-style checkpointing and crash recovery.
+
+    Recovery is the substrate the paper builds on: the as-of snapshot
+    machinery reuses {!analyze} (bounded at the SplitLSN) and the same
+    loser-undo walk, while crash recovery proper guarantees the primary
+    database the paper rewinds from is always consistent. *)
+
+val checkpoint :
+  log:Rw_wal.Log_manager.t ->
+  pool:Rw_buffer.Buffer_pool.t ->
+  txns:Rw_txn.Txn_manager.t ->
+  wall_us:float ->
+  ?flush_pages:bool ->
+  unit ->
+  Rw_storage.Lsn.t
+(** Write a checkpoint record carrying the active-transaction table, the
+    dirty-page table and the wall-clock time (the coarse positioning index
+    for SplitLSN searches, paper §5.1); force the log; update the master
+    record.  [flush_pages] additionally flushes the buffer pool first, which
+    empties the recorded dirty-page table (used at snapshot creation and to
+    model a target recovery interval). *)
+
+type analysis = {
+  losers : (Rw_wal.Txn_id.t, Rw_storage.Lsn.t) Hashtbl.t;
+      (** transactions in flight at the analysis horizon, with last LSN *)
+  dirty_pages : (int, Rw_storage.Lsn.t) Hashtbl.t;
+      (** page id -> recovery LSN *)
+  redo_start : Rw_storage.Lsn.t;
+  max_txn_id : Rw_wal.Txn_id.t;
+  records_scanned : int;
+}
+
+val analyze :
+  log:Rw_wal.Log_manager.t -> start:Rw_storage.Lsn.t -> upto:Rw_storage.Lsn.t -> analysis
+(** Scan forward from [start] (normally the master checkpoint; its record
+    seeds the tables) up to, excluding, [upto]. *)
+
+type stats = {
+  analysis : analysis;
+  redone_ops : int;
+  undone_ops : int;
+  ended_losers : int;
+}
+
+val recover : log:Rw_wal.Log_manager.t -> pool:Rw_buffer.Buffer_pool.t -> stats
+(** Full crash recovery on the primary database: analysis from the master
+    checkpoint to the end of the (durable) log, redo of missing updates,
+    then rollback of losers with compensation records.  The caller should
+    take a checkpoint afterwards and seed its transaction-id counter above
+    [stats.analysis.max_txn_id]. *)
+
+val undo_losers :
+  log:Rw_wal.Log_manager.t ->
+  losers:(Rw_wal.Txn_id.t, Rw_storage.Lsn.t) Hashtbl.t ->
+  write_clr:bool ->
+  apply:(Rw_storage.Page_id.t -> (Rw_storage.Page.t -> Rw_storage.Lsn.t option) -> unit) ->
+  int
+(** Walk every loser's chain newest-first, applying inverse operations via
+    [apply].  With [write_clr] the undo is logged (CLRs + End records —
+    crash recovery); without, pages are patched silently (snapshot logical
+    undo, which must not write to the primary log).  [apply pid f] presents
+    the page; [f] returns the new page LSN to stamp, if any.  Returns the
+    number of operations undone. *)

@@ -1,0 +1,1 @@
+lib/sql/executor.ml: Ast Format Int64 List Option Parser Printf Rw_access Rw_catalog Rw_core Rw_engine Rw_wal String

@@ -1,0 +1,1 @@
+lib/sql/executor.mli: Ast Format Rw_engine

@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: Buffer Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Int64 Lexer List Printf Rw_catalog String

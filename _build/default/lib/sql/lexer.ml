@@ -1,0 +1,118 @@
+type token =
+  | Ident of string
+  | Int_tok of int64
+  | Float_tok of float
+  | String_tok of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star_tok
+  | Semicolon
+  | Eq_tok
+  | Ne_tok
+  | Lt_tok
+  | Le_tok
+  | Gt_tok
+  | Ge_tok
+  | Minus
+
+exception Lex_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Lex_error s)) fmt
+
+let is_ident_start c = c = '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      emit (Ident (String.sub input start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      if !i < n && input.[!i] = '.' && !i + 1 < n && is_digit input.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done;
+        emit (Float_tok (float_of_string (String.sub input start (!i - start))))
+      end
+      else emit (Int_tok (Int64.of_string (String.sub input start (!i - start))))
+    end
+    else if c = '\'' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = '\'' then
+          if !i + 1 < n && input.[!i + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char buf input.[!i];
+          incr i
+        end
+      done;
+      if not !closed then error "unterminated string literal";
+      emit (String_tok (Buffer.contents buf))
+    end
+    else begin
+      incr i;
+      match c with
+      | '(' -> emit Lparen
+      | ')' -> emit Rparen
+      | ',' -> emit Comma
+      | '.' -> emit Dot
+      | '*' -> emit Star_tok
+      | ';' -> emit Semicolon
+      | '=' -> emit Eq_tok
+      | '-' ->
+          (* -- comment to end of line *)
+          if !i < n && input.[!i] = '-' then begin
+            while !i < n && input.[!i] <> '\n' do
+              incr i
+            done
+          end
+          else emit Minus
+      | '<' ->
+          if !i < n && input.[!i] = '=' then begin
+            incr i;
+            emit Le_tok
+          end
+          else if !i < n && input.[!i] = '>' then begin
+            incr i;
+            emit Ne_tok
+          end
+          else emit Lt_tok
+      | '>' ->
+          if !i < n && input.[!i] = '=' then begin
+            incr i;
+            emit Ge_tok
+          end
+          else emit Gt_tok
+      | c -> error "unexpected character %C" c
+    end
+  done;
+  List.rev !tokens
+
+let keyword = function Ident s -> Some (String.uppercase_ascii s) | _ -> None

@@ -1,0 +1,28 @@
+(** SQL tokeniser. *)
+
+type token =
+  | Ident of string  (** unquoted identifier or keyword, uppercased form in [keyword] *)
+  | Int_tok of int64
+  | Float_tok of float
+  | String_tok of string  (** single-quoted *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star_tok
+  | Semicolon
+  | Eq_tok
+  | Ne_tok
+  | Lt_tok
+  | Le_tok
+  | Gt_tok
+  | Ge_tok
+  | Minus
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** Raises {!Lex_error} on unexpected characters or unterminated strings. *)
+
+val keyword : token -> string option
+(** The uppercase spelling if the token is an identifier, else [None]. *)

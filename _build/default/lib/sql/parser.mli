@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.statement
+(** Parse one statement (an optional trailing [;] is accepted).
+    Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_script : string -> Ast.statement list
+(** Parse a [;]-separated script, ignoring empty statements. *)

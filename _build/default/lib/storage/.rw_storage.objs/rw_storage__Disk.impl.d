@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Array Io_stats Media Page Page_id Sim_clock

@@ -1,0 +1,1 @@
+lib/storage/disk.mli: Io_stats Media Page Page_id Sim_clock

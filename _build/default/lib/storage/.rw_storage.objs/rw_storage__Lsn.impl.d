@@ -1,0 +1,1 @@
+lib/storage/lsn.ml: Format Int Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/storage/media.ml: Io_stats Sim_clock

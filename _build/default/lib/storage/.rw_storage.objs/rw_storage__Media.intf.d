@@ -1,0 +1,1 @@
+lib/storage/media.mli: Io_stats Sim_clock

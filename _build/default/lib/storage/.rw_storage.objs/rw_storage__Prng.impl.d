@@ -1,0 +1,1 @@
+lib/storage/prng.ml: Array Bytes Char Int64 String

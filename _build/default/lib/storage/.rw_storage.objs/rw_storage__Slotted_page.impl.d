@@ -1,0 +1,1 @@
+lib/storage/slotted_page.ml: Array Bytes Either Page Printf String

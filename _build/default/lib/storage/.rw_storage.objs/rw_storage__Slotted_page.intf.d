@@ -1,0 +1,1 @@
+lib/storage/slotted_page.mli: Either Page

@@ -1,0 +1,1 @@
+lib/storage/sparse_file.ml: Hashtbl Io_stats List Media Page Page_id Sim_clock

@@ -1,0 +1,1 @@
+lib/storage/sparse_file.mli: Io_stats Media Page Page_id Sim_clock

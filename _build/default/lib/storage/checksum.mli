@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3 polynomial) checksums for page integrity.
+
+    Pages carry a checksum computed on flush and verified on read so that a
+    torn or corrupted page image is detected rather than silently used. *)
+
+val crc32 : ?init:int32 -> bytes -> pos:int -> len:int -> int32
+(** [crc32 b ~pos ~len] is the CRC-32 of [len] bytes of [b] starting at
+    [pos].  [init] allows incremental computation over several slices. *)
+
+val crc32_string : string -> int32
+(** CRC-32 of a whole string. *)

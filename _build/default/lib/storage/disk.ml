@@ -1,0 +1,78 @@
+type t = {
+  clock : Sim_clock.t;
+  media : Media.t;
+  stats : Io_stats.t;
+  mutable pages : Page.t option array;
+  mutable page_count : int;
+}
+
+let create ~clock ~media () =
+  { clock; media; stats = Io_stats.create (); pages = Array.make 64 None; page_count = 0 }
+
+let clock t = t.clock
+let media t = t.media
+let stats t = t.stats
+let page_count t = t.page_count
+let extend t n = if n > t.page_count then t.page_count <- n
+
+let has_page t pid =
+  let i = Page_id.to_int pid in
+  i < Array.length t.pages && t.pages.(i) <> None
+
+let written_pages t =
+  let n = ref 0 in
+  Array.iter (function Some _ -> incr n | None -> ()) t.pages;
+  !n
+
+let ensure_capacity t n =
+  if n > Array.length t.pages then begin
+    let cap = ref (Array.length t.pages) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let pages = Array.make !cap None in
+    Array.blit t.pages 0 pages 0 (Array.length t.pages);
+    t.pages <- pages
+  end
+
+let fetch t pid =
+  let i = Page_id.to_int pid in
+  if i < Array.length t.pages then
+    match t.pages.(i) with
+    | Some p -> Page.copy p
+    | None -> Page.create ~id:pid ~typ:Page.Free
+  else Page.create ~id:pid ~typ:Page.Free
+
+let store t pid page =
+  let i = Page_id.to_int pid in
+  ensure_capacity t (i + 1);
+  t.pages.(i) <- Some (Page.copy page);
+  if i + 1 > t.page_count then t.page_count <- i + 1
+
+let read_page t pid =
+  Media.random_read t.media t.clock t.stats Page.page_size;
+  fetch t pid
+
+let write_page t pid page =
+  Media.random_write t.media t.clock t.stats Page.page_size;
+  store t pid page
+
+let read_page_seq t pid =
+  Media.seq_read t.media t.clock t.stats Page.page_size;
+  fetch t pid
+
+let write_page_seq t pid page =
+  Media.seq_write t.media t.clock t.stats Page.page_size;
+  store t pid page
+
+let read_page_nocost t pid = fetch t pid
+let write_page_nocost t pid page = store t pid page
+
+let verify_checksums t =
+  let ok = ref true in
+  for i = 0 to t.page_count - 1 do
+    match t.pages.(i) with
+    | Some p -> if not (Page.verify p) then ok := false
+    | None -> ()
+  done;
+  !ok

@@ -1,0 +1,54 @@
+(** Simulated page-addressed disk.
+
+    The disk holds the durable state of a database file: buffer-pool flushes
+    write here, crash simulation discards everything {e except} the disk and
+    the flushed portion of the log.  Every access is priced through the
+    {!Media} model against the shared {!Sim_clock}.
+
+    Reads of pages that were never written return a zeroed page, matching the
+    behaviour of extending a file with zero fill. *)
+
+type t
+
+val create : clock:Sim_clock.t -> media:Media.t -> unit -> t
+val clock : t -> Sim_clock.t
+val media : t -> Media.t
+val stats : t -> Io_stats.t
+
+val page_count : t -> int
+(** One past the highest page ever written (or reserved via {!extend}). *)
+
+val extend : t -> int -> unit
+(** [extend t n] grows the file to at least [n] pages with zero fill,
+    without storing anything.  Models the cold static bulk of a large
+    database: the pages exist (backup must copy them; reads return zeros)
+    but occupy no simulator memory. *)
+
+val has_page : t -> Page_id.t -> bool
+(** Whether the page was ever actually written (false for zero-filled
+    holes). *)
+
+val written_pages : t -> int
+(** Number of pages with real content (excludes zero-filled holes). *)
+
+val read_page : t -> Page_id.t -> Page.t
+(** Random read of one page; returns a fresh copy. *)
+
+val write_page : t -> Page_id.t -> Page.t -> unit
+(** Random write of one page; the disk keeps its own copy. *)
+
+val read_page_seq : t -> Page_id.t -> Page.t
+(** Like {!read_page} but priced as sequential I/O (used by backup and
+    restore streams). *)
+
+val write_page_seq : t -> Page_id.t -> Page.t -> unit
+
+val read_page_nocost : t -> Page_id.t -> Page.t
+(** Read without advancing the clock; test and assertion helper. *)
+
+val write_page_nocost : t -> Page_id.t -> Page.t -> unit
+(** Store without advancing the clock, for callers that have already
+    priced the transfer in bulk (e.g. a streamed restore). *)
+
+val verify_checksums : t -> bool
+(** Check every stored page's checksum (free of I/O cost). *)

@@ -1,0 +1,55 @@
+type t = {
+  mutable random_reads : int;
+  mutable random_writes : int;
+  mutable seq_read_bytes : int;
+  mutable seq_write_bytes : int;
+  mutable random_read_bytes : int;
+  mutable random_write_bytes : int;
+}
+
+let create () =
+  {
+    random_reads = 0;
+    random_writes = 0;
+    seq_read_bytes = 0;
+    seq_write_bytes = 0;
+    random_read_bytes = 0;
+    random_write_bytes = 0;
+  }
+
+let reset t =
+  t.random_reads <- 0;
+  t.random_writes <- 0;
+  t.seq_read_bytes <- 0;
+  t.seq_write_bytes <- 0;
+  t.random_read_bytes <- 0;
+  t.random_write_bytes <- 0
+
+let copy t = { t with random_reads = t.random_reads }
+
+let diff later earlier =
+  {
+    random_reads = later.random_reads - earlier.random_reads;
+    random_writes = later.random_writes - earlier.random_writes;
+    seq_read_bytes = later.seq_read_bytes - earlier.seq_read_bytes;
+    seq_write_bytes = later.seq_write_bytes - earlier.seq_write_bytes;
+    random_read_bytes = later.random_read_bytes - earlier.random_read_bytes;
+    random_write_bytes = later.random_write_bytes - earlier.random_write_bytes;
+  }
+
+let total_ios t = t.random_reads + t.random_writes
+
+let total_bytes t =
+  t.seq_read_bytes + t.seq_write_bytes + t.random_read_bytes + t.random_write_bytes
+
+let add acc x =
+  acc.random_reads <- acc.random_reads + x.random_reads;
+  acc.random_writes <- acc.random_writes + x.random_writes;
+  acc.seq_read_bytes <- acc.seq_read_bytes + x.seq_read_bytes;
+  acc.seq_write_bytes <- acc.seq_write_bytes + x.seq_write_bytes;
+  acc.random_read_bytes <- acc.random_read_bytes + x.random_read_bytes;
+  acc.random_write_bytes <- acc.random_write_bytes + x.random_write_bytes
+
+let pp fmt t =
+  Format.fprintf fmt "rreads:%d rwrites:%d seqR:%dB seqW:%dB" t.random_reads t.random_writes
+    t.seq_read_bytes t.seq_write_bytes

@@ -1,0 +1,28 @@
+(** I/O counters.
+
+    Each simulated device keeps a set of counters; experiment harnesses
+    snapshot and diff them to report figures such as the estimated number of
+    undo log I/Os (paper Figure 11). *)
+
+type t = {
+  mutable random_reads : int;
+  mutable random_writes : int;
+  mutable seq_read_bytes : int;
+  mutable seq_write_bytes : int;
+  mutable random_read_bytes : int;
+  mutable random_write_bytes : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val diff : t -> t -> t
+(** [diff later earlier] is the counter delta between two snapshots. *)
+
+val total_ios : t -> int
+val total_bytes : t -> int
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  seq_read_mb_s : float;
+  seq_write_mb_s : float;
+  rand_read_lat_us : float;
+  rand_write_lat_us : float;
+}
+
+let ssd =
+  {
+    name = "ssd";
+    seq_read_mb_s = 250.0;
+    seq_write_mb_s = 200.0;
+    rand_read_lat_us = 100.0;
+    rand_write_lat_us = 150.0;
+  }
+
+let sas =
+  {
+    name = "sas";
+    seq_read_mb_s = 150.0;
+    seq_write_mb_s = 140.0;
+    rand_read_lat_us = 6000.0;
+    rand_write_lat_us = 6000.0;
+  }
+
+let ram =
+  { name = "ram"; seq_read_mb_s = infinity; seq_write_mb_s = infinity;
+    rand_read_lat_us = 0.0; rand_write_lat_us = 0.0 }
+
+let transfer_us ~mb_s bytes =
+  if mb_s = infinity then 0.0 else float_of_int bytes /. mb_s
+
+let random_read t clock stats n =
+  Sim_clock.advance_us clock (t.rand_read_lat_us +. transfer_us ~mb_s:t.seq_read_mb_s n);
+  stats.Io_stats.random_reads <- stats.Io_stats.random_reads + 1;
+  stats.Io_stats.random_read_bytes <- stats.Io_stats.random_read_bytes + n
+
+let random_write t clock stats n =
+  Sim_clock.advance_us clock (t.rand_write_lat_us +. transfer_us ~mb_s:t.seq_write_mb_s n);
+  stats.Io_stats.random_writes <- stats.Io_stats.random_writes + 1;
+  stats.Io_stats.random_write_bytes <- stats.Io_stats.random_write_bytes + n
+
+let seq_read t clock stats n =
+  Sim_clock.advance_us clock (transfer_us ~mb_s:t.seq_read_mb_s n);
+  stats.Io_stats.seq_read_bytes <- stats.Io_stats.seq_read_bytes + n
+
+let seq_write t clock stats n =
+  Sim_clock.advance_us clock (transfer_us ~mb_s:t.seq_write_mb_s n);
+  stats.Io_stats.seq_write_bytes <- stats.Io_stats.seq_write_bytes + n

@@ -1,0 +1,34 @@
+(** Storage media cost model.
+
+    The paper's evaluation contrasts SLC SSDs and 10K RPM SAS disks; the cost
+    of an as-of query is dominated by random log reads while restore cost is
+    dominated by sequential bandwidth.  This module prices individual I/Os
+    and advances a {!Sim_clock} accordingly. *)
+
+type t = {
+  name : string;
+  seq_read_mb_s : float;  (** sequential read bandwidth, MB/s *)
+  seq_write_mb_s : float;  (** sequential write bandwidth, MB/s *)
+  rand_read_lat_us : float;  (** fixed latency per random read *)
+  rand_write_lat_us : float;  (** fixed latency per random write *)
+}
+
+val ssd : t
+(** 2012-era SLC SSD: ~100us random access, ~250 MB/s sequential. *)
+
+val sas : t
+(** 10K RPM SAS disk: ~6ms random access (seek + rotation), ~150 MB/s
+    sequential. *)
+
+val ram : t
+(** Free I/O; used by unit tests that do not care about timing. *)
+
+val transfer_us : mb_s:float -> int -> float
+(** [transfer_us ~mb_s bytes] is the pure transfer time. *)
+
+val random_read : t -> Sim_clock.t -> Io_stats.t -> int -> unit
+(** Account one random read of [n] bytes: advances the clock and counters. *)
+
+val random_write : t -> Sim_clock.t -> Io_stats.t -> int -> unit
+val seq_read : t -> Sim_clock.t -> Io_stats.t -> int -> unit
+val seq_write : t -> Sim_clock.t -> Io_stats.t -> int -> unit

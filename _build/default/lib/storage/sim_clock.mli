@@ -1,0 +1,18 @@
+(** Simulated wall clock.
+
+    All experiment timing flows through this clock: the media model advances
+    it for every I/O, and workloads advance it for CPU costs.  Using a
+    simulated clock keeps every experiment deterministic while preserving the
+    cost structure of the hardware the paper ran on. *)
+
+type t
+
+val create : ?start_us:float -> unit -> t
+val now_us : t -> float
+val now_s : t -> float
+val advance_us : t -> float -> unit
+(** Raises [Invalid_argument] on negative advances: simulated time is
+    monotonic. *)
+
+val pp_duration : Format.formatter -> float -> unit
+(** Pretty-print a duration in microseconds using a human unit. *)

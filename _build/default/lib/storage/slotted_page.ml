@@ -1,0 +1,136 @@
+exception Page_full
+
+let slot_base = Page.header_size
+let slot_size = 4
+let max_record_size = Page.page_size - Page.header_size - slot_size
+
+let slot_off i = slot_base + (slot_size * i)
+let slot_offset p i = Bytes.get_uint16_le p (slot_off i)
+let slot_length p i = Bytes.get_uint16_le p (slot_off i + 2)
+
+let set_slot p i ~offset ~length =
+  Bytes.set_uint16_le p (slot_off i) offset;
+  Bytes.set_uint16_le p (slot_off i + 2) length
+
+let count = Page.slot_count
+
+let slots_end p = slot_base + (slot_size * count p)
+
+let contiguous_free p = Page.data_low p - slots_end p
+
+let free_space p =
+  let f = contiguous_free p + Page.garbage p - slot_size in
+  if f < 0 then 0 else f
+
+let used_bytes p = (slot_size * count p) + (Page.page_size - Page.data_low p) - Page.garbage p
+
+let check_index p ~at ~for_insert =
+  let n = count p in
+  let hi = if for_insert then n else n - 1 in
+  if at < 0 || at > hi then
+    invalid_arg
+      (Printf.sprintf "Slotted_page: index %d out of bounds (count %d)" at n)
+
+let compact p =
+  let n = count p in
+  (* Copy live records out, then lay them back down from the page end. *)
+  let recs =
+    Array.init n (fun i ->
+        let off = slot_offset p i and len = slot_length p i in
+        Bytes.sub p off len)
+  in
+  let low = ref Page.page_size in
+  for i = 0 to n - 1 do
+    let len = Bytes.length recs.(i) in
+    low := !low - len;
+    Bytes.blit recs.(i) 0 p !low len;
+    set_slot p i ~offset:!low ~length:len
+  done;
+  Page.set_data_low p !low;
+  Page.set_garbage p 0
+
+let alloc_data p len =
+  if contiguous_free p < len then compact p;
+  let low = Page.data_low p - len in
+  Page.set_data_low p low;
+  low
+
+let insert p ~at data =
+  check_index p ~at ~for_insert:true;
+  let len = String.length data in
+  if len > max_record_size then invalid_arg "Slotted_page.insert: record too large";
+  if free_space p < len then raise Page_full;
+  let n = count p in
+  (* Make room in the slot array first so compaction sees a consistent
+     count; shift existing slots at..n-1 up by one. *)
+  if contiguous_free p < slot_size then compact p;
+  if contiguous_free p < slot_size then raise Page_full;
+  Bytes.blit p (slot_off at) p (slot_off (at + 1)) (slot_size * (n - at));
+  Page.set_slot_count p (n + 1);
+  set_slot p at ~offset:0 ~length:0;
+  let off = alloc_data p len in
+  Bytes.blit_string data 0 p off len;
+  set_slot p at ~offset:off ~length:len
+
+let delete p ~at =
+  check_index p ~at ~for_insert:false;
+  let n = count p in
+  Page.set_garbage p (Page.garbage p + slot_length p at);
+  Bytes.blit p (slot_off (at + 1)) p (slot_off at) (slot_size * (n - at - 1));
+  Page.set_slot_count p (n - 1)
+
+let get p ~at =
+  check_index p ~at ~for_insert:false;
+  Bytes.sub_string p (slot_offset p at) (slot_length p at)
+
+let record_length p ~at =
+  check_index p ~at ~for_insert:false;
+  slot_length p at
+
+let set p ~at data =
+  check_index p ~at ~for_insert:false;
+  let len = String.length data in
+  if len > max_record_size then invalid_arg "Slotted_page.set: record too large";
+  let old_len = slot_length p at in
+  if len <= old_len then begin
+    Bytes.blit_string data 0 p (slot_offset p at) len;
+    set_slot p at ~offset:(slot_offset p at) ~length:len;
+    Page.set_garbage p (Page.garbage p + (old_len - len))
+  end
+  else begin
+    if free_space p + slot_size < len - old_len then raise Page_full;
+    (* Retire the old record before (possibly) compacting. *)
+    Page.set_garbage p (Page.garbage p + old_len);
+    set_slot p at ~offset:0 ~length:0;
+    let off = alloc_data p len in
+    Bytes.blit_string data 0 p off len;
+    set_slot p at ~offset:off ~length:len
+  end
+
+let iter p f =
+  for i = 0 to count p - 1 do
+    f i (get p ~at:i)
+  done
+
+let fold p ~init ~f =
+  let acc = ref init in
+  for i = 0 to count p - 1 do
+    acc := f !acc i (get p ~at:i)
+  done;
+  !acc
+
+let key_at p ~at =
+  check_index p ~at ~for_insert:false;
+  Bytes.get_int64_le p (slot_offset p at)
+
+let find_key p key =
+  let rec go lo hi =
+    if lo >= hi then Either.Right lo
+    else
+      let mid = (lo + hi) / 2 in
+      let k = key_at p ~at:mid in
+      if k = key then Either.Left mid
+      else if k < key then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (count p)

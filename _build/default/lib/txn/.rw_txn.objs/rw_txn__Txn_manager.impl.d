@@ -1,0 +1,1 @@
+lib/txn/txn_manager.ml: Hashtbl List Lock_manager Rw_storage Rw_wal

@@ -1,0 +1,1 @@
+lib/txn/txn_manager.mli: Lock_manager Rw_storage Rw_wal

@@ -1,0 +1,116 @@
+module Lsn = Rw_storage.Lsn
+module Page = Rw_storage.Page
+module Page_id = Rw_storage.Page_id
+module Txn_id = Rw_wal.Txn_id
+module Log_record = Rw_wal.Log_record
+module Log_manager = Rw_wal.Log_manager
+
+type state = Active | Committed | Aborted
+
+type txn = { id : Txn_id.t; mutable state : state; mutable last_lsn : Lsn.t }
+
+type t = {
+  log : Log_manager.t;
+  locks : Lock_manager.t;
+  mutable next_id : Txn_id.t;
+  active : (int, txn) Hashtbl.t;
+}
+
+let create ~log ~locks =
+  { log; locks; next_id = Txn_id.of_int 1; active = Hashtbl.create 64 }
+
+let locks t = t.locks
+let log t = t.log
+let txn_id txn = txn.id
+let state txn = txn.state
+let last_lsn txn = txn.last_lsn
+
+let set_next_id t id = if Txn_id.compare id t.next_id > 0 then t.next_id <- id
+
+let begin_txn t =
+  let id = t.next_id in
+  t.next_id <- Txn_id.next id;
+  let txn = { id; state = Active; last_lsn = Lsn.nil } in
+  let lsn =
+    Log_manager.append t.log (Log_record.make ~txn:id ~prev_txn_lsn:Lsn.nil Log_record.Begin)
+  in
+  txn.last_lsn <- lsn;
+  Hashtbl.replace t.active (Txn_id.to_int id) txn;
+  txn
+
+let find t id = Hashtbl.find_opt t.active (Txn_id.to_int id)
+
+let active_txns t =
+  Hashtbl.fold
+    (fun _ txn acc -> if txn.state = Active then (txn.id, txn.last_lsn) :: acc else acc)
+    t.active []
+  |> List.sort (fun (a, _) (b, _) -> Txn_id.compare a b)
+
+let lock t txn res mode =
+  if txn.state <> Active then invalid_arg "Txn_manager.lock: txn not active";
+  Lock_manager.acquire t.locks txn.id res mode
+
+let append_on_chain t txn body =
+  let lsn =
+    Log_manager.append t.log (Log_record.make ~txn:txn.id ~prev_txn_lsn:txn.last_lsn body)
+  in
+  txn.last_lsn <- lsn;
+  lsn
+
+let log_page_op t txn ~page ~prev_page_lsn op =
+  if txn.state <> Active then invalid_arg "Txn_manager.log_page_op: txn not active";
+  append_on_chain t txn (Log_record.Page_op { page; prev_page_lsn; op })
+
+let commit t txn ~wall_us =
+  if txn.state <> Active then invalid_arg "Txn_manager.commit: txn not active";
+  let commit_lsn = append_on_chain t txn (Log_record.Commit { wall_us }) in
+  (* Durability: the transaction is committed only once its commit record
+     is on stable storage. *)
+  Log_manager.flush t.log ~upto:commit_lsn;
+  txn.state <- Committed;
+  Lock_manager.release_all t.locks txn.id;
+  ignore (append_on_chain t txn Log_record.End)
+
+type page_writer = Page_id.t -> (Page.t -> Lsn.t) -> unit
+
+let undo_one t txn ~write_page ~page ~op ~undo_next =
+  match Log_record.invert op with
+  | None -> ()
+  | Some inverse ->
+      write_page page (fun p ->
+          let prev_page_lsn = Page.lsn p in
+          let clr_lsn =
+            append_on_chain t txn
+              (Log_record.Clr { page; prev_page_lsn; op = inverse; undo_next })
+          in
+          Log_record.redo page inverse p;
+          Page.set_lsn p clr_lsn;
+          clr_lsn)
+
+let rollback t txn ~write_page =
+  if txn.state <> Active then invalid_arg "Txn_manager.rollback: txn not active";
+  ignore (append_on_chain t txn Log_record.Abort);
+  let rec walk lsn =
+    if not (Lsn.is_nil lsn) then begin
+      let r = Log_manager.read t.log lsn in
+      match r.Log_record.body with
+      | Log_record.Page_op { page; op; _ } ->
+          undo_one t txn ~write_page ~page ~op ~undo_next:r.Log_record.prev_txn_lsn;
+          walk r.Log_record.prev_txn_lsn
+      | Log_record.Clr { undo_next; _ } ->
+          (* Already-compensated work: skip straight past it. *)
+          walk undo_next
+      | Log_record.Begin -> ()
+      | Log_record.Abort -> walk r.Log_record.prev_txn_lsn
+      | Log_record.Commit _ | Log_record.End | Log_record.Checkpoint _ ->
+          invalid_arg "Txn_manager.rollback: malformed transaction chain"
+    end
+  in
+  walk txn.last_lsn;
+  txn.state <- Aborted;
+  Lock_manager.release_all t.locks txn.id;
+  ignore (append_on_chain t txn Log_record.End)
+
+let finished t txn =
+  if txn.state = Active then invalid_arg "Txn_manager.finished: txn still active";
+  Hashtbl.remove t.active (Txn_id.to_int txn.id)

@@ -1,0 +1,59 @@
+(** Transaction lifecycle: begin, page-op logging, commit, rollback.
+
+    Every page modification a transaction makes is logged through
+    {!log_page_op}, which threads the per-transaction backward chain
+    ([prev_txn_lsn]).  Rollback walks that chain, writing {e compensation
+    log records that carry undo information} (the paper's §4.2 extension)
+    and applying the inverse operations through a caller-supplied page
+    writer, so this module needs no knowledge of the buffer manager. *)
+
+type t
+
+type txn
+
+type state = Active | Committed | Aborted
+
+val create : log:Rw_wal.Log_manager.t -> locks:Lock_manager.t -> t
+val locks : t -> Lock_manager.t
+val log : t -> Rw_wal.Log_manager.t
+
+val set_next_id : t -> Rw_wal.Txn_id.t -> unit
+(** Seed the id counter above every id seen in the log (after recovery). *)
+
+val begin_txn : t -> txn
+val txn_id : txn -> Rw_wal.Txn_id.t
+val state : txn -> state
+val last_lsn : txn -> Rw_storage.Lsn.t
+
+val find : t -> Rw_wal.Txn_id.t -> txn option
+val active_txns : t -> (Rw_wal.Txn_id.t * Rw_storage.Lsn.t) list
+(** For the checkpoint record: (id, last LSN) of every active txn. *)
+
+val lock : t -> txn -> Lock_manager.resource -> Lock_manager.mode -> unit
+
+val log_page_op :
+  t ->
+  txn ->
+  page:Rw_storage.Page_id.t ->
+  prev_page_lsn:Rw_storage.Lsn.t ->
+  Rw_wal.Log_record.op ->
+  Rw_storage.Lsn.t
+(** Append a [Page_op] on the transaction's chain; returns its LSN.  The
+    caller applies the op to the page and stamps the page LSN. *)
+
+val commit : t -> txn -> wall_us:float -> unit
+(** Write the commit record (carrying wall-clock time for SplitLSN
+    searches), force the log, release locks, write [End]. *)
+
+type page_writer = Rw_storage.Page_id.t -> (Rw_storage.Page.t -> Rw_storage.Lsn.t) -> unit
+(** [writer pid f] must present page [pid] exclusively latched to [f];
+    [f] returns the page's new LSN, which the writer uses to mark the frame
+    dirty. *)
+
+val rollback : t -> txn -> write_page:page_writer -> unit
+(** Undo the transaction: walk its chain newest-first, log a CLR (with undo
+    information) per undone operation, apply inverses via [write_page].
+    Resumes correctly over pre-existing CLRs (partial rollbacks). *)
+
+val finished : t -> txn -> unit
+(** Forget a committed/aborted txn (bookkeeping). *)

@@ -1,0 +1,1 @@
+lib/wal/log_manager.ml: Array Hashtbl List Log_record Lru Printf Rw_storage String

@@ -1,0 +1,1 @@
+lib/wal/log_record.ml: Bytes Codec Format Int64 List Printf Rw_storage String Txn_id

@@ -1,0 +1,1 @@
+lib/wal/log_record.mli: Format Rw_storage Txn_id

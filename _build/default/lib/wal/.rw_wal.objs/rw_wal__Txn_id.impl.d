@@ -1,0 +1,1 @@
+lib/wal/txn_id.ml: Format Hashtbl Int Int64

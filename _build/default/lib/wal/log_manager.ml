@@ -1,0 +1,294 @@
+module Lsn = Rw_storage.Lsn
+module Page_id = Rw_storage.Page_id
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+module Io_stats = Rw_storage.Io_stats
+
+exception Log_truncated of Lsn.t
+
+type entry = { lsn : Lsn.t; data : string }
+
+type t = {
+  clock : Sim_clock.t;
+  media : Media.t;
+  io : Io_stats.t;
+  mutable entries : entry array;
+  mutable start : int; (* first live index (moves on truncation) *)
+  mutable count : int; (* one past last live index *)
+  index : (int, int) Hashtbl.t; (* lsn -> entry index *)
+  mutable end_lsn : Lsn.t;
+  mutable flushed_lsn : Lsn.t;
+  mutable truncated_below : Lsn.t;
+  cache : Lru.t;
+  block_bytes : int;
+  mutable last_checkpoint : Lsn.t;
+  mutable checkpoint_lsns : Lsn.t list; (* descending *)
+  fpi_index : (int, Lsn.t list ref) Hashtbl.t; (* page -> descending FPI lsns *)
+  mutable total_appended_bytes : int;
+  mutable unflushed_bytes : int;
+}
+
+let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536) () =
+  {
+    clock;
+    media;
+    io = Io_stats.create ();
+    entries = Array.make 1024 { lsn = Lsn.nil; data = "" };
+    start = 0;
+    count = 0;
+    index = Hashtbl.create 4096;
+    end_lsn = Lsn.of_int 1;
+    flushed_lsn = Lsn.of_int 1;
+    truncated_below = Lsn.of_int 1;
+    cache = Lru.create ~capacity:cache_blocks;
+    block_bytes;
+    last_checkpoint = Lsn.nil;
+    checkpoint_lsns = [];
+    fpi_index = Hashtbl.create 256;
+    total_appended_bytes = 0;
+    unflushed_bytes = 0;
+  }
+
+let clock t = t.clock
+let stats t = t.io
+let flushed_lsn t = t.flushed_lsn
+let end_lsn t = t.end_lsn
+let first_lsn t = t.truncated_below
+let last_checkpoint t = t.last_checkpoint
+let set_last_checkpoint t lsn = t.last_checkpoint <- lsn
+let total_appended_bytes t = t.total_appended_bytes
+let retained_bytes t = Lsn.to_int t.end_lsn - Lsn.to_int t.truncated_below
+let record_count t = t.count - t.start
+
+let grow t =
+  if t.count = Array.length t.entries then begin
+    let live = t.count - t.start in
+    let cap = max 1024 (2 * live) in
+    let entries = Array.make cap { lsn = Lsn.nil; data = "" } in
+    Array.blit t.entries t.start entries 0 live;
+    (* Entry indices shift by [t.start]; rebuild the lsn index. *)
+    Hashtbl.reset t.index;
+    for i = 0 to live - 1 do
+      Hashtbl.replace t.index (Lsn.to_int entries.(i).lsn) i
+    done;
+    t.entries <- entries;
+    t.count <- live;
+    t.start <- 0
+  end
+
+let blocks_of t lsn len =
+  let first = (Lsn.to_int lsn - 1) / t.block_bytes in
+  let last = (Lsn.to_int lsn - 1 + max 0 (len - 1)) / t.block_bytes in
+  (first, last)
+
+let touch_cache_on_append t lsn len =
+  let first, last = blocks_of t lsn len in
+  for b = first to last do
+    ignore (Lru.use t.cache b)
+  done
+
+let record_fpi t record lsn =
+  match record.Log_record.body with
+  | Log_record.Page_op { page; op = Log_record.Full_image _; _ } ->
+      let key = Page_id.to_int page in
+      let l =
+        match Hashtbl.find_opt t.fpi_index key with
+        | Some l -> l
+        | None ->
+            let l = ref [] in
+            Hashtbl.replace t.fpi_index key l;
+            l
+      in
+      l := lsn :: !l
+  | _ -> ()
+
+let record_checkpoint t record lsn =
+  match record.Log_record.body with
+  | Log_record.Checkpoint _ -> t.checkpoint_lsns <- lsn :: t.checkpoint_lsns
+  | _ -> ()
+
+let append t record =
+  let data = Log_record.encode record in
+  let len = String.length data in
+  let lsn = t.end_lsn in
+  grow t;
+  t.entries.(t.count) <- { lsn; data };
+  Hashtbl.replace t.index (Lsn.to_int lsn) t.count;
+  t.count <- t.count + 1;
+  t.end_lsn <- Lsn.of_int (Lsn.to_int lsn + len);
+  t.total_appended_bytes <- t.total_appended_bytes + len;
+  t.unflushed_bytes <- t.unflushed_bytes + len;
+  touch_cache_on_append t lsn len;
+  record_fpi t record lsn;
+  record_checkpoint t record lsn;
+  lsn
+
+let flush t ~upto =
+  if Lsn.(t.flushed_lsn <= upto) && Lsn.(t.flushed_lsn < t.end_lsn) then begin
+    (* Group commit: one sync plus the sequential transfer of everything
+       buffered. *)
+    Media.random_write t.media t.clock t.io 0;
+    Media.seq_write t.media t.clock t.io t.unflushed_bytes;
+    t.unflushed_bytes <- 0;
+    t.flushed_lsn <- t.end_lsn
+  end
+
+let flush_all t = flush t ~upto:(Lsn.of_int (max 1 (Lsn.to_int t.end_lsn - 1)))
+
+let find_index t lsn =
+  if Lsn.(lsn < t.truncated_below) then raise (Log_truncated lsn);
+  match Hashtbl.find_opt t.index (Lsn.to_int lsn) with
+  | Some i when i >= t.start && i < t.count -> i
+  | _ -> invalid_arg (Printf.sprintf "Log_manager.read: no record at lsn %d" (Lsn.to_int lsn))
+
+let read_nocost t lsn =
+  let i = find_index t lsn in
+  Log_record.decode t.entries.(i).data
+
+let read t lsn =
+  let i = find_index t lsn in
+  let e = t.entries.(i) in
+  let first, last = blocks_of t e.lsn (String.length e.data) in
+  for b = first to last do
+    if not (Lru.use t.cache b) then Media.random_read t.media t.clock t.io t.block_bytes
+  done;
+  Log_record.decode e.data
+
+let mem t lsn =
+  Lsn.(lsn >= t.truncated_below)
+  &&
+  match Hashtbl.find_opt t.index (Lsn.to_int lsn) with
+  | Some i -> i >= t.start && i < t.count
+  | None -> false
+
+let next_lsn_after t lsn =
+  let i = find_index t lsn in
+  Lsn.of_int (Lsn.to_int lsn + String.length t.entries.(i).data)
+
+(* Binary search for the first live entry with lsn >= target. *)
+let lower_bound t target =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Lsn.(t.entries.(mid).lsn < target) then go (mid + 1) hi else go lo mid
+  in
+  go t.start t.count
+
+(* Scans are priced sequentially, per record as it is visited, so an
+   early-exit scan only pays for the region it actually read. *)
+let charge_seq t bytes = Media.seq_read t.media t.clock t.io bytes
+
+let iter_range t ~from ~upto f =
+  let i = ref (lower_bound t from) in
+  while !i < t.count && Lsn.(t.entries.(!i).lsn < upto) do
+    let e = t.entries.(!i) in
+    charge_seq t (String.length e.data);
+    f e.lsn (Log_record.decode e.data);
+    incr i
+  done
+
+let iter_range_rev t ~from ~upto f =
+  let first = lower_bound t from in
+  let i = ref (lower_bound t upto - 1) in
+  while !i >= first do
+    let e = t.entries.(!i) in
+    charge_seq t (String.length e.data);
+    f e.lsn (Log_record.decode e.data);
+    decr i
+  done
+
+let fold_range t ~from ~upto ~init ~f =
+  let acc = ref init in
+  iter_range t ~from ~upto (fun lsn r -> acc := f !acc lsn r);
+  !acc
+
+let charge_scan t ~from ~upto =
+  let lo = Lsn.max from t.truncated_below in
+  let hi = Lsn.min upto t.end_lsn in
+  let bytes = max 0 (Lsn.to_int hi - Lsn.to_int lo) in
+  charge_seq t bytes
+
+let checkpoints_before t lsn =
+  List.filter (fun c -> Lsn.(c <= lsn) && Lsn.(c >= t.truncated_below)) t.checkpoint_lsns
+
+let earliest_fpi_after t page ~after =
+  match Hashtbl.find_opt t.fpi_index (Page_id.to_int page) with
+  | None -> None
+  | Some l ->
+      (* The list is descending; the earliest FPI still > after is the last
+         element before we cross the boundary. *)
+      let rec go best = function
+        | [] -> best
+        | lsn :: rest ->
+            if Lsn.(lsn > after) && Lsn.(lsn >= t.truncated_below) then go (Some lsn) rest
+            else best
+      in
+      go None !l
+
+let truncate_before t lsn =
+  if Lsn.(lsn > t.truncated_below) then begin
+    let cut = lower_bound t lsn in
+    for i = t.start to cut - 1 do
+      Hashtbl.remove t.index (Lsn.to_int t.entries.(i).lsn);
+      t.entries.(i) <- { lsn = Lsn.nil; data = "" }
+    done;
+    t.start <- cut;
+    t.truncated_below <- lsn;
+    t.checkpoint_lsns <- List.filter (fun c -> Lsn.(c >= lsn)) t.checkpoint_lsns;
+    Hashtbl.iter (fun _ l -> l := List.filter (fun f -> Lsn.(f >= lsn)) !l) t.fpi_index
+  end
+
+let dump_entries t =
+  let acc = ref [] in
+  for i = t.count - 1 downto t.start do
+    acc := (t.entries.(i).lsn, t.entries.(i).data) :: !acc
+  done;
+  !acc
+
+let restore_entries t entries =
+  if t.count > t.start || Lsn.to_int t.end_lsn > 1 then
+    invalid_arg "Log_manager.restore_entries: log not empty";
+  (match entries with
+  | [] -> ()
+  | (first, _) :: _ ->
+      t.truncated_below <- first;
+      t.flushed_lsn <- first;
+      t.end_lsn <- first);
+  List.iter
+    (fun (lsn, data) ->
+      if not (Lsn.equal lsn t.end_lsn) then
+        invalid_arg "Log_manager.restore_entries: non-contiguous entries";
+      grow t;
+      t.entries.(t.count) <- { lsn; data };
+      Hashtbl.replace t.index (Lsn.to_int lsn) t.count;
+      t.count <- t.count + 1;
+      t.end_lsn <- Lsn.of_int (Lsn.to_int lsn + String.length data);
+      t.total_appended_bytes <- t.total_appended_bytes + String.length data;
+      let record = Log_record.decode data in
+      record_fpi t record lsn;
+      record_checkpoint t record lsn)
+    entries;
+  t.flushed_lsn <- t.end_lsn;
+  t.last_checkpoint <- (match t.checkpoint_lsns with c :: _ -> c | [] -> Lsn.nil)
+
+let crash t =
+  (* Everything at or above the durable boundary vanishes. *)
+  while t.count > t.start && Lsn.(t.entries.(t.count - 1).lsn >= t.flushed_lsn) do
+    let e = t.entries.(t.count - 1) in
+    Hashtbl.remove t.index (Lsn.to_int e.lsn);
+    (match Log_record.decode e.data with
+    | { body = Log_record.Checkpoint _; _ } ->
+        t.checkpoint_lsns <- List.filter (fun c -> not (Lsn.equal c e.lsn)) t.checkpoint_lsns
+    | { body = Log_record.Page_op { page; op = Log_record.Full_image _; _ }; _ } -> (
+        match Hashtbl.find_opt t.fpi_index (Page_id.to_int page) with
+        | Some l -> l := List.filter (fun f -> not (Lsn.equal f e.lsn)) !l
+        | None -> ())
+    | _ -> ());
+    t.entries.(t.count - 1) <- { lsn = Lsn.nil; data = "" };
+    t.count <- t.count - 1
+  done;
+  t.end_lsn <- t.flushed_lsn;
+  t.unflushed_bytes <- 0;
+  if Lsn.(t.last_checkpoint >= t.flushed_lsn) then
+    t.last_checkpoint <- (match t.checkpoint_lsns with c :: _ -> c | [] -> Lsn.nil)

@@ -1,0 +1,119 @@
+(** The write-ahead log.
+
+    Appends are buffered in memory and become durable on {!flush} (commit
+    forces a flush, as does the buffer manager before writing a dirty page —
+    classic WAL).  An LSN is one plus the byte offset of the record in the
+    log stream, so LSNs are dense and order equals position.
+
+    Reads of individual records (the random accesses performed while
+    rewinding a page) go through a block cache: a hit is free, a miss is a
+    priced random I/O on the log device.  The number of such misses is the
+    paper's "estimated number of undo log IOs" (Figure 11).  Range scans
+    (recovery analysis/redo) are priced as sequential I/O.
+
+    The log manager also maintains the full-page-image directory used to
+    jump-start page undo (paper §6.1), and the retention boundary
+    ({!truncate_before}) that implements [SET UNDO_INTERVAL]. *)
+
+type t
+
+exception Log_truncated of Rw_storage.Lsn.t
+(** Raised when reading below the retention boundary. *)
+
+val create :
+  clock:Rw_storage.Sim_clock.t ->
+  media:Rw_storage.Media.t ->
+  ?cache_blocks:int ->
+  ?block_bytes:int ->
+  unit ->
+  t
+(** [cache_blocks] (default 128) and [block_bytes] (default 65536) size the
+    log block cache. *)
+
+val clock : t -> Rw_storage.Sim_clock.t
+val stats : t -> Rw_storage.Io_stats.t
+
+val append : t -> Log_record.t -> Rw_storage.Lsn.t
+(** Append a record (no I/O cost until flushed) and return its LSN. *)
+
+val flush : t -> upto:Rw_storage.Lsn.t -> unit
+(** Make all records appended so far durable if any at or below [upto] are
+    not yet.  Priced as one sequential write plus a sync latency. *)
+
+val flush_all : t -> unit
+val flushed_lsn : t -> Rw_storage.Lsn.t
+(** LSNs strictly below this are durable. *)
+
+val end_lsn : t -> Rw_storage.Lsn.t
+(** The LSN the next appended record will receive. *)
+
+val first_lsn : t -> Rw_storage.Lsn.t
+(** Oldest retained LSN (moves forward on truncation). *)
+
+val read : t -> Rw_storage.Lsn.t -> Log_record.t
+(** Random record read through the block cache.  Raises {!Log_truncated}
+    below the retention boundary and [Invalid_argument] for an LSN that is
+    not a record boundary. *)
+
+val read_nocost : t -> Rw_storage.Lsn.t -> Log_record.t
+val mem : t -> Rw_storage.Lsn.t -> bool
+val next_lsn_after : t -> Rw_storage.Lsn.t -> Rw_storage.Lsn.t
+(** The LSN of the record following the given one. *)
+
+val iter_range :
+  t -> from:Rw_storage.Lsn.t -> upto:Rw_storage.Lsn.t -> (Rw_storage.Lsn.t -> Log_record.t -> unit) -> unit
+(** In-order scan of records with [from <= lsn < upto]; priced sequentially.
+    [from] is rounded up to the first retained record. *)
+
+val iter_range_rev :
+  t -> from:Rw_storage.Lsn.t -> upto:Rw_storage.Lsn.t -> (Rw_storage.Lsn.t -> Log_record.t -> unit) -> unit
+(** Same range, reverse order. *)
+
+val fold_range :
+  t ->
+  from:Rw_storage.Lsn.t ->
+  upto:Rw_storage.Lsn.t ->
+  init:'a ->
+  f:('a -> Rw_storage.Lsn.t -> Log_record.t -> 'a) ->
+  'a
+
+val charge_scan : t -> from:Rw_storage.Lsn.t -> upto:Rw_storage.Lsn.t -> unit
+(** Account the sequential I/O cost of scanning a log region without
+    decoding it (e.g. a restore's initialization of the unused log tail). *)
+
+val last_checkpoint : t -> Rw_storage.Lsn.t
+(** The master record: LSN of the most recent checkpoint ([Lsn.nil] if
+    none). *)
+
+val set_last_checkpoint : t -> Rw_storage.Lsn.t -> unit
+
+val checkpoints_before : t -> Rw_storage.Lsn.t -> Rw_storage.Lsn.t list
+(** LSNs of retained checkpoint records at or before the given LSN,
+    descending (newest first). *)
+
+val earliest_fpi_after :
+  t -> Rw_storage.Page_id.t -> after:Rw_storage.Lsn.t -> Rw_storage.Lsn.t option
+(** The earliest retained full-page-image record for the page with
+    LSN strictly greater than [after], if any — the jump-start point for
+    page undo. *)
+
+val truncate_before : t -> Rw_storage.Lsn.t -> unit
+(** Drop all records with LSN strictly below the argument (retention). *)
+
+val total_appended_bytes : t -> int
+(** Lifetime log volume — the paper's "log space usage" metric. *)
+
+val retained_bytes : t -> int
+val record_count : t -> int
+val crash : t -> unit
+(** Simulate a crash: discard every record that was not durable. *)
+
+val dump_entries : t -> (Rw_storage.Lsn.t * string) list
+(** All retained records, oldest first, in encoded form — for persisting
+    the durable log to a file.  Free of simulated I/O cost (persistence is
+    an offline operation). *)
+
+val restore_entries : t -> (Rw_storage.Lsn.t * string) list -> unit
+(** Rebuild a fresh log manager's state from {!dump_entries} output
+    (indexes, FPI directory and checkpoint list included).  Every restored
+    record is considered durable.  Raises on a non-empty log. *)

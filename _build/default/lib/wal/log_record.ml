@@ -1,0 +1,285 @@
+module Page = Rw_storage.Page
+module Page_id = Rw_storage.Page_id
+module Lsn = Rw_storage.Lsn
+
+type op =
+  | Insert_row of { slot : int; row : string }
+  | Delete_row of { slot : int; row : string }
+  | Update_row of { slot : int; before : string; after : string }
+  | Set_header of { field : header_field; before : int64; after : int64 }
+  | Format of { typ : Page.page_type; level : int }
+  | Preformat of { prev_image : string }
+  | Full_image of { image : string }
+
+and header_field = Prev_page | Next_page | Special | Level
+
+type body =
+  | Begin
+  | Commit of { wall_us : float }
+  | Abort
+  | End
+  | Page_op of { page : Page_id.t; prev_page_lsn : Lsn.t; op : op }
+  | Clr of { page : Page_id.t; prev_page_lsn : Lsn.t; op : op; undo_next : Lsn.t }
+  | Checkpoint of {
+      wall_us : float;
+      active_txns : (Txn_id.t * Lsn.t) list;
+      dirty_pages : (Page_id.t * Lsn.t) list;
+    }
+
+type t = { txn : Txn_id.t; prev_txn_lsn : Lsn.t; body : body }
+
+let make ?(txn = Txn_id.nil) ?(prev_txn_lsn = Lsn.nil) body = { txn; prev_txn_lsn; body }
+
+let page_of t =
+  match t.body with
+  | Page_op { page; _ } | Clr { page; _ } -> Some page
+  | Begin | Commit _ | Abort | End | Checkpoint _ -> None
+
+let prev_page_lsn_of t =
+  match t.body with
+  | Page_op { prev_page_lsn; _ } | Clr { prev_page_lsn; _ } -> Some prev_page_lsn
+  | Begin | Commit _ | Abort | End | Checkpoint _ -> None
+
+let op_of t =
+  match t.body with
+  | Page_op { op; _ } | Clr { op; _ } -> Some op
+  | Begin | Commit _ | Abort | End | Checkpoint _ -> None
+
+let get_header p = function
+  | Prev_page -> Page_id.to_int64 (Page.prev_page p)
+  | Next_page -> Page_id.to_int64 (Page.next_page p)
+  | Special -> Page.special p
+  | Level -> Int64.of_int (Page.level p)
+
+let set_header p field v =
+  match field with
+  | Prev_page -> Page.set_prev_page p (Page_id.of_int64 v)
+  | Next_page -> Page.set_next_page p (Page_id.of_int64 v)
+  | Special -> Page.set_special p v
+  | Level -> Page.set_level p (Int64.to_int v)
+
+let redo pid op p =
+  match op with
+  | Insert_row { slot; row } -> Rw_storage.Slotted_page.insert p ~at:slot row
+  | Delete_row { slot; _ } -> Rw_storage.Slotted_page.delete p ~at:slot
+  | Update_row { slot; after; _ } -> Rw_storage.Slotted_page.set p ~at:slot after
+  | Set_header { field; after; _ } -> set_header p field after
+  | Format { typ; level } ->
+      Page.format p ~id:pid ~typ;
+      Page.set_level p level
+  | Preformat _ -> ()
+  | Full_image { image } ->
+      assert (String.length image = Page.page_size);
+      Bytes.blit_string image 0 p 0 Page.page_size;
+      (* The image belongs to this page by construction; keep the id in
+         sync regardless, as [redo] may target a fresh buffer. *)
+      Page.set_id p pid
+
+let undo op p =
+  match op with
+  | Insert_row { slot; _ } -> Rw_storage.Slotted_page.delete p ~at:slot
+  | Delete_row { slot; row } -> Rw_storage.Slotted_page.insert p ~at:slot row
+  | Update_row { slot; before; _ } -> Rw_storage.Slotted_page.set p ~at:slot before
+  | Set_header { field; before; _ } -> set_header p field before
+  | Format _ -> Page.format p ~id:(Page.id p) ~typ:Page.Free
+  | Preformat { prev_image } ->
+      assert (String.length prev_image = Page.page_size);
+      Bytes.blit_string prev_image 0 p 0 Page.page_size
+  | Full_image _ -> ()
+
+let invert = function
+  | Insert_row { slot; row } -> Some (Delete_row { slot; row })
+  | Delete_row { slot; row } -> Some (Insert_row { slot; row })
+  | Update_row { slot; before; after } -> Some (Update_row { slot; before = after; after = before })
+  | Set_header { field; before; after } -> Some (Set_header { field; before = after; after = before })
+  | Format _ -> Some (Format { typ = Page.Free; level = 0 })
+  | Preformat _ | Full_image _ -> None
+
+(* --- binary codec --- *)
+
+let field_code = function Prev_page -> 0 | Next_page -> 1 | Special -> 2 | Level -> 3
+
+let field_of_code = function
+  | 0 -> Prev_page
+  | 1 -> Next_page
+  | 2 -> Special
+  | 3 -> Level
+  | c -> invalid_arg (Printf.sprintf "Log_record: bad header field %d" c)
+
+let encode_op e op =
+  let open Codec in
+  match op with
+  | Insert_row { slot; row } ->
+      u8 e 0;
+      u16 e slot;
+      str16 e row
+  | Delete_row { slot; row } ->
+      u8 e 1;
+      u16 e slot;
+      str16 e row
+  | Update_row { slot; before; after } ->
+      u8 e 2;
+      u16 e slot;
+      str16 e before;
+      str16 e after
+  | Set_header { field; before; after } ->
+      u8 e 3;
+      u8 e (field_code field);
+      i64 e before;
+      i64 e after
+  | Format { typ; level } ->
+      u8 e 4;
+      u8 e (Page.type_code typ);
+      u8 e level
+  | Preformat { prev_image } ->
+      u8 e 5;
+      str32 e prev_image
+  | Full_image { image } ->
+      u8 e 6;
+      str32 e image
+
+let decode_op d =
+  let open Codec in
+  match get_u8 d with
+  | 0 ->
+      let slot = get_u16 d in
+      let row = get_str16 d in
+      Insert_row { slot; row }
+  | 1 ->
+      let slot = get_u16 d in
+      let row = get_str16 d in
+      Delete_row { slot; row }
+  | 2 ->
+      let slot = get_u16 d in
+      let before = get_str16 d in
+      let after = get_str16 d in
+      Update_row { slot; before; after }
+  | 3 ->
+      let field = field_of_code (get_u8 d) in
+      let before = get_i64 d in
+      let after = get_i64 d in
+      Set_header { field; before; after }
+  | 4 ->
+      let typ = Page.type_of_code (get_u8 d) in
+      let level = get_u8 d in
+      Format { typ; level }
+  | 5 -> Preformat { prev_image = get_str32 d }
+  | 6 -> Full_image { image = get_str32 d }
+  | c -> invalid_arg (Printf.sprintf "Log_record: bad op kind %d" c)
+
+let encode t =
+  let open Codec in
+  let e = encoder () in
+  i64 e (Txn_id.to_int64 t.txn);
+  i64 e (Lsn.to_int64 t.prev_txn_lsn);
+  (match t.body with
+  | Begin -> u8 e 0
+  | Commit { wall_us } ->
+      u8 e 1;
+      f64 e wall_us
+  | Abort -> u8 e 2
+  | End -> u8 e 3
+  | Checkpoint { wall_us; active_txns; dirty_pages } ->
+      u8 e 4;
+      f64 e wall_us;
+      u32 e (List.length active_txns);
+      List.iter
+        (fun (txn, lsn) ->
+          i64 e (Txn_id.to_int64 txn);
+          i64 e (Lsn.to_int64 lsn))
+        active_txns;
+      u32 e (List.length dirty_pages);
+      List.iter
+        (fun (page, lsn) ->
+          i64 e (Page_id.to_int64 page);
+          i64 e (Lsn.to_int64 lsn))
+        dirty_pages
+  | Page_op { page; prev_page_lsn; op } ->
+      u8 e 5;
+      i64 e (Page_id.to_int64 page);
+      i64 e (Lsn.to_int64 prev_page_lsn);
+      encode_op e op
+  | Clr { page; prev_page_lsn; op; undo_next } ->
+      u8 e 6;
+      i64 e (Page_id.to_int64 page);
+      i64 e (Lsn.to_int64 prev_page_lsn);
+      i64 e (Lsn.to_int64 undo_next);
+      encode_op e op);
+  to_string e
+
+let decode s =
+  let open Codec in
+  let d = decoder s in
+  let txn = Txn_id.of_int64 (get_i64 d) in
+  let prev_txn_lsn = Lsn.of_int64 (get_i64 d) in
+  let body =
+    match get_u8 d with
+    | 0 -> Begin
+    | 1 -> Commit { wall_us = get_f64 d }
+    | 2 -> Abort
+    | 3 -> End
+    | 4 ->
+        let wall_us = get_f64 d in
+        let n = get_u32 d in
+        let active_txns =
+          List.init n (fun _ ->
+              let txn = Txn_id.of_int64 (get_i64 d) in
+              let lsn = Lsn.of_int64 (get_i64 d) in
+              (txn, lsn))
+        in
+        let m = get_u32 d in
+        let dirty_pages =
+          List.init m (fun _ ->
+              let page = Page_id.of_int64 (get_i64 d) in
+              let lsn = Lsn.of_int64 (get_i64 d) in
+              (page, lsn))
+        in
+        Checkpoint { wall_us; active_txns; dirty_pages }
+    | 5 ->
+        let page = Page_id.of_int64 (get_i64 d) in
+        let prev_page_lsn = Lsn.of_int64 (get_i64 d) in
+        let op = decode_op d in
+        Page_op { page; prev_page_lsn; op }
+    | 6 ->
+        let page = Page_id.of_int64 (get_i64 d) in
+        let prev_page_lsn = Lsn.of_int64 (get_i64 d) in
+        let undo_next = Lsn.of_int64 (get_i64 d) in
+        let op = decode_op d in
+        Clr { page; prev_page_lsn; op; undo_next }
+    | c -> invalid_arg (Printf.sprintf "Log_record: bad record kind %d" c)
+  in
+  { txn; prev_txn_lsn; body }
+
+let encoded_size t = String.length (encode t)
+
+let op_name = function
+  | Insert_row _ -> "insert_row"
+  | Delete_row _ -> "delete_row"
+  | Update_row _ -> "update_row"
+  | Set_header _ -> "set_header"
+  | Format _ -> "format"
+  | Preformat _ -> "preformat"
+  | Full_image _ -> "full_image"
+
+let kind_name t =
+  match t.body with
+  | Begin -> "begin"
+  | Commit _ -> "commit"
+  | Abort -> "abort"
+  | End -> "end"
+  | Checkpoint _ -> "checkpoint"
+  | Page_op { op; _ } -> op_name op
+  | Clr { op; _ } -> "clr:" ^ op_name op
+
+let pp fmt t =
+  match t.body with
+  | Page_op { page; prev_page_lsn; op } ->
+      Format.fprintf fmt "%a %s %a prev=%a" Txn_id.pp t.txn (op_name op) Page_id.pp page Lsn.pp
+        prev_page_lsn
+  | Clr { page; prev_page_lsn; op; undo_next } ->
+      Format.fprintf fmt "%a clr:%s %a prev=%a undo_next=%a" Txn_id.pp t.txn (op_name op)
+        Page_id.pp page Lsn.pp prev_page_lsn Lsn.pp undo_next
+  | Checkpoint { active_txns; dirty_pages; _ } ->
+      Format.fprintf fmt "checkpoint active=%d dirty=%d" (List.length active_txns)
+        (List.length dirty_pages)
+  | _ -> Format.fprintf fmt "%a %s" Txn_id.pp t.txn (kind_name t)

@@ -1,0 +1,90 @@
+(** Log records: the vocabulary of the write-ahead log.
+
+    The engine uses physiological logging in the ARIES style: every change to
+    a page is a separate log record carrying both redo and undo information,
+    and the records of one page are back-linked through [prev_page_lsn] —
+    the chain that {e PreparePageAsOf} walks to rewind a page (paper §4).
+
+    Log extensions required by the paper (§4.2) are all present:
+    - {!op.Preformat} records link the chain across page re-allocation and
+      carry the complete prior image;
+    - {!body.Clr} compensation records carry undo information (classic ARIES
+      CLRs are redo-only);
+    - {!op.Delete_row} carries the deleted row image so B-tree structure
+      modifications (logged as insert + delete) can be undone page-locally;
+    - {!op.Full_image} records (every Nth modification, §6.1) let undo skip
+      log regions. *)
+
+(** A physical operation against one page.  Redo assumes the pre-state,
+    undo assumes the post-state. *)
+type op =
+  | Insert_row of { slot : int; row : string }
+  | Delete_row of { slot : int; row : string }
+      (** [row] is the undo information the paper adds for SMO deletes. *)
+  | Update_row of { slot : int; before : string; after : string }
+  | Set_header of { field : header_field; before : int64; after : int64 }
+  | Format of { typ : Rw_storage.Page.page_type; level : int }
+      (** Page (re)initialisation; begins a page chain. *)
+  | Preformat of { prev_image : string }
+      (** Logged at re-allocation, before {!Format}: stores the prior page
+          content and links to the prior chain. *)
+  | Full_image of { image : string }
+      (** Complete page image after the modification; undo no-op. *)
+
+and header_field = Prev_page | Next_page | Special | Level
+
+type body =
+  | Begin
+  | Commit of { wall_us : float }
+      (** Commit records carry wall-clock time; the SplitLSN search uses
+          them for fine positioning (paper §5.1). *)
+  | Abort
+  | End
+  | Page_op of { page : Rw_storage.Page_id.t; prev_page_lsn : Rw_storage.Lsn.t; op : op }
+  | Clr of {
+      page : Rw_storage.Page_id.t;
+      prev_page_lsn : Rw_storage.Lsn.t;
+      op : op;
+      undo_next : Rw_storage.Lsn.t;  (** next record of the txn to undo *)
+    }
+  | Checkpoint of {
+      wall_us : float;
+      active_txns : (Txn_id.t * Rw_storage.Lsn.t) list;
+          (** txn id, LSN of its most recent log record *)
+      dirty_pages : (Rw_storage.Page_id.t * Rw_storage.Lsn.t) list;
+          (** page id, recovery LSN (earliest unflushed change) *)
+    }
+
+type t = { txn : Txn_id.t; prev_txn_lsn : Rw_storage.Lsn.t; body : body }
+
+val make : ?txn:Txn_id.t -> ?prev_txn_lsn:Rw_storage.Lsn.t -> body -> t
+
+val page_of : t -> Rw_storage.Page_id.t option
+(** The page a record modifies, if any. *)
+
+val prev_page_lsn_of : t -> Rw_storage.Lsn.t option
+val op_of : t -> op option
+
+val get_header : Rw_storage.Page.t -> header_field -> int64
+(** Read a header field as an int64; convenient for building
+    {!op.Set_header} operations with correct before-images. *)
+
+val redo : Rw_storage.Page_id.t -> op -> Rw_storage.Page.t -> unit
+(** [redo pid op page] applies the operation's redo effect to a page whose
+    content is the pre-state; [pid] identifies the page so that [Format] can
+    initialise a fresh buffer.  The caller updates the page LSN. *)
+
+val undo : op -> Rw_storage.Page.t -> unit
+(** Reverse the operation on a page whose content is the post-state. *)
+
+val invert : op -> op option
+(** The compensating operation, used to build CLRs during rollback.
+    [None] for operations that need no compensation ({!op.Full_image}). *)
+
+val encode : t -> string
+val decode : string -> t
+(** Raises [Invalid_argument] or [Failure] on corrupt input. *)
+
+val encoded_size : t -> int
+val pp : Format.formatter -> t -> unit
+val kind_name : t -> string

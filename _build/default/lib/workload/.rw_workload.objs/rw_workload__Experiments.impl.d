@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Hashtbl List Option Printf Rw_core Rw_engine Rw_storage Rw_wal Tpcc

@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Hashtbl Int64 List Printexc Printf Rw_catalog Rw_engine Rw_storage String

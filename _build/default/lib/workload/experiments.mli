@@ -1,0 +1,35 @@
+(** Reproduction harnesses for the paper's evaluation (§6).
+
+    One entry per figure/section; each prints the same series the paper
+    plots.  Absolute numbers differ (the substrate is a simulator at MB
+    scale, not a 40 GB testbed), but the shapes the paper argues from hold:
+    FPI logging costs log space but little throughput (Figs. 5-6), as-of
+    queries beat full restore by orders of magnitude and degrade linearly
+    with time travelled (Figs. 7-10), undo I/Os grow linearly (Fig. 11),
+    concurrent as-of queries reduce but do not cripple throughput (§6.3),
+    and a crossover exists when enough data is accessed (§6.4). *)
+
+type figure =
+  | Fig5  (** log space overhead vs FPI frequency N *)
+  | Fig6  (** throughput impact vs FPI frequency N *)
+  | Fig7  (** restore vs as-of query, SSD *)
+  | Fig8  (** restore vs as-of query, SAS *)
+  | Fig9  (** snapshot creation vs query time, SSD *)
+  | Fig10  (** snapshot creation vs query time, SAS *)
+  | Fig11  (** estimated undo log I/Os vs time back *)
+  | Sec6_3  (** throughput with a concurrent as-of query loop *)
+  | Sec6_4  (** crossover: log rewind vs backup roll-forward *)
+  | Ablation
+      (** design-choice ablations: FPI frequency, log cache size, page- vs
+          transaction-oriented undo, and proactive copy-on-write snapshots
+          vs the on-demand rewind (§7.1) *)
+
+val all : figure list
+val of_string : string -> figure option
+val name : figure -> string
+
+val run : ?quick:bool -> figure -> unit
+(** Run one experiment and print its table to stdout.  [quick] shrinks the
+    workload for smoke runs. *)
+
+val run_all : ?quick:bool -> unit -> unit

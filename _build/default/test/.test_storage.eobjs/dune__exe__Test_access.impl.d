@@ -1,0 +1,1 @@
+test/test_access.ml: Alcotest Hashtbl Int64 List Printf QCheck QCheck_alcotest Rw_access Rw_buffer Rw_storage Rw_txn Rw_wal String

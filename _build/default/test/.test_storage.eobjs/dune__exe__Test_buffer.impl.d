@@ -1,0 +1,1 @@
+test/test_buffer.ml: Alcotest Bytes List Rw_buffer Rw_storage

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest List Printf Rw_access Rw_buffer Rw_catalog Rw_storage Rw_txn Rw_wal

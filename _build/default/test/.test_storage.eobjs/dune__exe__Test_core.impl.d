@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Int64 List Option Printf Rw_access Rw_buffer Rw_catalog Rw_core Rw_engine Rw_storage Rw_txn Rw_wal String

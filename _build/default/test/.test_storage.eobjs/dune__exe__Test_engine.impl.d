@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Filename Hashtbl Int64 List Printf Rw_catalog Rw_engine Rw_storage Sys

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Hashtbl Int64 List Printf Rw_access Rw_catalog Rw_engine Rw_sql Rw_storage

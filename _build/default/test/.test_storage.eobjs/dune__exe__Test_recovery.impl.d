@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Hashtbl Int64 List Printf Rw_access Rw_catalog Rw_engine Rw_recovery Rw_storage Rw_txn Rw_wal

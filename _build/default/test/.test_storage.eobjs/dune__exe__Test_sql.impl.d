@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Format Int64 List Printf Rw_engine Rw_sql Rw_storage String

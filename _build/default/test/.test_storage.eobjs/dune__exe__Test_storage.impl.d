@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Either Gen List QCheck QCheck_alcotest Rw_access Rw_storage String

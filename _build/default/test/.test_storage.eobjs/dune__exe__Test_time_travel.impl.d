@@ -1,0 +1,1 @@
+test/test_time_travel.ml: Alcotest List Rw_catalog Rw_engine Rw_storage Rw_workload

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest List Printf Rw_access Rw_buffer Rw_storage Rw_txn Rw_wal

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Int64 List QCheck QCheck_alcotest Rw_storage Rw_wal String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Int64 List Rw_engine Rw_storage Rw_workload

@@ -1,0 +1,249 @@
+(* ARIES recovery tests: checkpoints, analysis, redo idempotence, loser
+   rollback across crashes — exercised through the engine's crash
+   simulation. *)
+
+module Lsn = Rw_storage.Lsn
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+module Log_manager = Rw_wal.Log_manager
+module Recovery = Rw_recovery.Recovery
+module Database = Rw_engine.Database
+module Row = Rw_engine.Row
+module Schema = Rw_catalog.Schema
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cols =
+  [ { Schema.name = "id"; ctype = Schema.Int }; { Schema.name = "val"; ctype = Schema.Text } ]
+
+let mk_db ?(name = "rec") () =
+  let clock = Sim_clock.create () in
+  Database.create ~name ~clock ~media:Media.ram ()
+
+let seed db n =
+  Database.with_txn db (fun txn ->
+      ignore (Database.create_table db txn ~table:"t" ~columns:cols ());
+      for i = 1 to n do
+        Database.insert db txn ~table:"t" [ Row.Int (Int64.of_int i); Row.Text (Printf.sprintf "v%d" i) ]
+      done)
+
+let rows db =
+  let acc = ref [] in
+  Database.scan db ~table:"t" ~f:(fun r -> acc := r :: !acc);
+  List.rev !acc
+
+let test_committed_survive_crash () =
+  let db = mk_db () in
+  seed db 50;
+  (* No checkpoint, no page flushes: everything lives in log + pool. *)
+  let before = rows db in
+  let db = Database.crash_and_reopen db in
+  check "all committed rows recovered" true (rows db = before);
+  match Database.last_recovery_stats db with
+  | Some stats -> check "redo happened" true (stats.Recovery.redone_ops > 0)
+  | None -> Alcotest.fail "expected recovery stats"
+
+let test_uncommitted_rolled_back () =
+  let db = mk_db () in
+  seed db 10;
+  let txn = Database.begin_txn db in
+  Database.insert db txn ~table:"t" [ Row.Int 999L; Row.Text "loser" ];
+  Database.delete db txn ~table:"t" ~key:5L;
+  (* Force the loser's log records to disk so recovery sees them, without
+     committing. *)
+  Log_manager.flush_all (Database.log db);
+  let db = Database.crash_and_reopen db in
+  check "loser insert gone" true (Database.get db ~table:"t" ~key:999L = None);
+  check "loser delete undone" true (Database.get db ~table:"t" ~key:5L <> None);
+  check_int "ten rows" 10 (List.length (rows db));
+  match Database.last_recovery_stats db with
+  | Some stats ->
+      check_int "one loser" 1 stats.Recovery.ended_losers;
+      check "ops undone" true (stats.Recovery.undone_ops > 0)
+  | None -> Alcotest.fail "expected recovery stats"
+
+let test_unflushed_loser_simply_vanishes () =
+  let db = mk_db () in
+  seed db 10;
+  let txn = Database.begin_txn db in
+  Database.insert db txn ~table:"t" [ Row.Int 777L; Row.Text "volatile" ];
+  (* Not flushed: crash drops the records entirely. *)
+  let db = Database.crash_and_reopen db in
+  check "nothing to undo" true (Database.get db ~table:"t" ~key:777L = None);
+  check_int "ten rows" 10 (List.length (rows db))
+
+let test_checkpoint_bounds_analysis () =
+  let db = mk_db () in
+  seed db 30;
+  ignore (Database.checkpoint db);
+  let log = Database.log db in
+  let master = Log_manager.last_checkpoint log in
+  check "master set" true (not (Lsn.is_nil master));
+  Database.with_txn db (fun txn ->
+      Database.insert db txn ~table:"t" [ Row.Int 31L; Row.Text "after-ckpt" ]);
+  let db = Database.crash_and_reopen db in
+  (match Database.last_recovery_stats db with
+  | Some stats ->
+      (* Analysis only scans from the checkpoint, not the whole log. *)
+      check "bounded scan" true (stats.Recovery.analysis.Recovery.records_scanned < 40)
+  | None -> Alcotest.fail "expected stats");
+  check_int "31 rows" 31 (List.length (rows db))
+
+let test_double_crash_idempotent () =
+  let db = mk_db () in
+  seed db 20;
+  let txn = Database.begin_txn db in
+  Database.insert db txn ~table:"t" [ Row.Int 888L; Row.Text "loser" ];
+  Log_manager.flush_all (Database.log db);
+  let db = Database.crash_and_reopen db in
+  let after_first = rows db in
+  (* Crash again immediately: recovery (incl. its CLRs) must be stable. *)
+  let db = Database.crash_and_reopen db in
+  check "second recovery is a no-op on state" true (rows db = after_first);
+  let db = Database.crash_and_reopen db in
+  check "third too" true (rows db = after_first)
+
+let test_crash_mid_rollback_resumes () =
+  let db = mk_db () in
+  seed db 10;
+  (* Build a loser with several operations, flush, crash.  Recovery rolls
+     it back with CLRs; crash again mid-way is simulated by crashing right
+     after recovery flushed its CLRs — the second recovery must skip the
+     already-compensated prefix via undo_next. *)
+  let txn = Database.begin_txn db in
+  for i = 100 to 110 do
+    Database.insert db txn ~table:"t" [ Row.Int (Int64.of_int i); Row.Text "loser" ]
+  done;
+  Log_manager.flush_all (Database.log db);
+  let db = Database.crash_and_reopen db in
+  check_int "rolled back" 10 (List.length (rows db));
+  let db = Database.crash_and_reopen db in
+  check_int "still ten" 10 (List.length (rows db))
+
+let test_txn_ids_not_reused_after_recovery () =
+  let db = mk_db () in
+  seed db 5;
+  let log = Database.log db in
+  let max_txn_before = ref Rw_wal.Txn_id.nil in
+  Log_manager.iter_range log ~from:(Log_manager.first_lsn log) ~upto:(Log_manager.end_lsn log)
+    (fun _ r ->
+      if Rw_wal.Txn_id.compare r.Rw_wal.Log_record.txn !max_txn_before > 0 then
+        max_txn_before := r.Rw_wal.Log_record.txn);
+  let db = Database.crash_and_reopen db in
+  Database.with_txn db (fun txn ->
+      check "fresh txn id above all logged ids" true
+        (Rw_wal.Txn_id.compare (Rw_txn.Txn_manager.txn_id txn) !max_txn_before > 0))
+
+let test_recovery_with_drop_and_realloc () =
+  let db = mk_db () in
+  seed db 40;
+  Database.with_txn db (fun txn -> Database.drop_table db txn "t");
+  Database.with_txn db (fun txn ->
+      ignore (Database.create_table db txn ~table:"t2" ~columns:cols ());
+      for i = 1 to 40 do
+        Database.insert db txn ~table:"t2" [ Row.Int (Int64.of_int i); Row.Text "fresh" ]
+      done);
+  let db = Database.crash_and_reopen db in
+  check "old table gone" true (Database.table db "t" = None);
+  check_int "new table intact" 40 (Database.row_count db ~table:"t2")
+
+(* Fuzz: interleave random committed/uncommitted work with crashes at
+   random points; after every recovery all committed effects must be
+   present and all uncommitted effects absent. *)
+let test_crash_fuzz () =
+  let rng = Rw_storage.Prng.create 31337 in
+  let db = ref (mk_db ()) in
+  Database.with_txn !db (fun txn ->
+      ignore (Database.create_table !db txn ~table:"t" ~columns:cols ()));
+  let model = Hashtbl.create 256 in
+  for _round = 1 to 15 do
+    (* Committed batch. *)
+    let n = 1 + Rw_storage.Prng.int rng 20 in
+    Database.with_txn !db (fun txn ->
+        for _ = 1 to n do
+          let k = Rw_storage.Prng.int rng 200 in
+          let key = Int64.of_int k in
+          if Hashtbl.mem model k then
+            if Rw_storage.Prng.bool rng then begin
+              Database.delete !db txn ~table:"t" ~key;
+              Hashtbl.remove model k
+            end
+            else begin
+              let v = Rw_storage.Prng.alpha_string rng 20 in
+              Database.update !db txn ~table:"t" [ Row.Int key; Row.Text v ];
+              Hashtbl.replace model k v
+            end
+          else begin
+            let v = Rw_storage.Prng.alpha_string rng 20 in
+            Database.insert !db txn ~table:"t" [ Row.Int key; Row.Text v ];
+            Hashtbl.replace model k v
+          end
+        done);
+    (* Sometimes a checkpoint; sometimes an uncommitted loser (flushed or
+       not); then crash with 50% probability. *)
+    if Rw_storage.Prng.int rng 100 < 30 then ignore (Database.checkpoint !db);
+    if Rw_storage.Prng.int rng 100 < 60 then begin
+      let txn = Database.begin_txn !db in
+      for _ = 1 to 1 + Rw_storage.Prng.int rng 5 do
+        let k = 1000 + Rw_storage.Prng.int rng 50 in
+        (try Database.insert !db txn ~table:"t" [ Row.Int (Int64.of_int k); Row.Text "loser" ]
+         with Rw_access.Btree.Duplicate_key _ -> ())
+      done;
+      if Rw_storage.Prng.bool rng then Log_manager.flush_all (Database.log !db)
+      (* else: the loser's tail is lost with the crash *)
+    end;
+    if Rw_storage.Prng.bool rng then db := Database.crash_and_reopen !db
+    else begin
+      (* No crash: roll the loser back if one is still open. *)
+      match Rw_txn.Txn_manager.active_txns (Database.txn_manager !db) with
+      | [] -> ()
+      | _ -> db := Database.crash_and_reopen !db
+    end;
+    (* Validate against the model. *)
+    let actual = ref 0 in
+    Database.scan !db ~table:"t" ~f:(fun row ->
+        incr actual;
+        match row with
+        | [ Row.Int k; Row.Text v ] ->
+            let k = Int64.to_int k in
+            if k < 1000 then begin
+              match Hashtbl.find_opt model k with
+              | Some v' when v' = v -> ()
+              | _ -> Alcotest.failf "key %d diverged from model" k
+            end
+            else Alcotest.failf "loser row %d survived" k
+        | _ -> Alcotest.fail "bad row shape")
+    done;
+  check_int "final cardinality" (Hashtbl.length model) (Database.row_count !db ~table:"t")
+
+let test_snapshot_after_recovery () =
+  let db = mk_db () in
+  let clock = Database.clock db in
+  seed db 20;
+  Rw_storage.Sim_clock.advance_us clock 1_000_000.0;
+  let t_past = Rw_storage.Sim_clock.now_us clock in
+  Database.with_txn db (fun txn -> Database.delete db txn ~table:"t" ~key:5L);
+  let db = Database.crash_and_reopen db in
+  (* The log survived the crash, so the past is still reachable. *)
+  let snap = Database.create_as_of_snapshot db ~name:"past" ~wall_us:t_past in
+  check "pre-crash history visible" true (Database.get snap ~table:"t" ~key:5L <> None);
+  check "primary still lacks the row" true (Database.get db ~table:"t" ~key:5L = None)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "crash",
+        [
+          Alcotest.test_case "committed survive" `Quick test_committed_survive_crash;
+          Alcotest.test_case "losers rolled back" `Quick test_uncommitted_rolled_back;
+          Alcotest.test_case "unflushed loser vanishes" `Quick test_unflushed_loser_simply_vanishes;
+          Alcotest.test_case "checkpoint bounds analysis" `Quick test_checkpoint_bounds_analysis;
+          Alcotest.test_case "repeated crash idempotent" `Quick test_double_crash_idempotent;
+          Alcotest.test_case "crash mid rollback" `Quick test_crash_mid_rollback_resumes;
+          Alcotest.test_case "txn ids not reused" `Quick test_txn_ids_not_reused_after_recovery;
+          Alcotest.test_case "drop + realloc recovered" `Quick test_recovery_with_drop_and_realloc;
+          Alcotest.test_case "randomised crash fuzz" `Quick test_crash_fuzz;
+          Alcotest.test_case "snapshot after recovery" `Quick test_snapshot_after_recovery;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+(* Route-planner tests: the §6.4 "generalized system" picks the cheaper of
+   log rewind and backup roll-forward and both routes agree on the data. *)
+
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+module Disk = Rw_storage.Disk
+module Schema = Rw_catalog.Schema
+module Database = Rw_engine.Database
+module Backup = Rw_engine.Backup
+module Time_travel = Rw_engine.Time_travel
+module Row = Rw_engine.Row
+module Tpcc = Rw_workload.Tpcc
+
+let check = Alcotest.(check bool)
+
+(* A SAS-media TPC-C database with a backup from before its history. *)
+let build () =
+  let clock = Sim_clock.create () in
+  let db =
+    Database.create ~name:"tt" ~clock ~media:Media.sas ~checkpoint_interval_us:1_000_000.0
+      ~log_cache_blocks:16 ()
+  in
+  let cfg = Tpcc.small_config in
+  Tpcc.load db cfg;
+  (* A substantial cold region: restore must copy it, the rewind never
+     touches it. *)
+  Disk.extend (Database.disk db) 40_000;
+  let backup = Backup.take db in
+  let t0 = Sim_clock.now_us clock in
+  let drv = Tpcc.create db cfg in
+  ignore (Tpcc.run_mix drv ~txns:600);
+  let t1 = Sim_clock.now_us clock in
+  (* Quiesce so snapshot-creation estimates aren't dominated by a large
+     dirty set pending flush. *)
+  ignore (Database.checkpoint db);
+  (db, cfg, backup, t0, t1)
+
+let test_decision_flips_with_pages_hint () =
+  let db, _, backup, t0, t1 = build () in
+  let target = t1 -. (0.9 *. (t1 -. t0)) in
+  let plan_for hint = Time_travel.plan ~db ~backups:[ backup ] ~wall_us:target ~pages_hint:hint in
+  let small = plan_for 1 in
+  let huge = plan_for 100_000 in
+  check "tiny access -> rewind" true (small.Time_travel.route = Time_travel.Rewind);
+  check "huge access -> roll forward" true
+    (match huge.Time_travel.route with Time_travel.Roll_forward _ -> true | _ -> false);
+  check "rewind estimate grows with hint" true
+    (huge.Time_travel.rewind_estimate_s > small.Time_travel.rewind_estimate_s);
+  check "restore estimate independent of hint" true
+    (huge.Time_travel.restore_estimate_s = small.Time_travel.restore_estimate_s)
+
+let test_no_backup_forces_rewind () =
+  let db, _, _, t0, t1 = build () in
+  let target = t1 -. (0.5 *. (t1 -. t0)) in
+  let p = Time_travel.plan ~db ~backups:[] ~wall_us:target ~pages_hint:1_000_000 in
+  check "rewind chosen" true (p.Time_travel.route = Time_travel.Rewind);
+  check "restore unavailable" true (p.Time_travel.restore_estimate_s = infinity)
+
+let test_backup_after_target_unusable () =
+  let db, _, _, t0, t1 = build () in
+  (* A backup taken after the target time cannot roll forward to it. *)
+  let late_backup = Backup.take db in
+  let target = t1 -. (0.5 *. (t1 -. t0)) in
+  let p = Time_travel.plan ~db ~backups:[ late_backup ] ~wall_us:target ~pages_hint:1_000_000 in
+  check "late backup ignored" true (p.Time_travel.route = Time_travel.Rewind)
+
+let test_routes_agree_on_data () =
+  let db, cfg, backup, t0, t1 = build () in
+  let target = t1 -. (0.6 *. (t1 -. t0)) in
+  let rewind_plan = Time_travel.plan ~db ~backups:[] ~wall_us:target ~pages_hint:4 in
+  let via_rewind = Time_travel.materialise ~db ~name:"via_rewind" ~wall_us:target rewind_plan in
+  let forced_restore =
+    { Time_travel.route = Time_travel.Roll_forward backup; rewind_estimate_s = 0.0;
+      restore_estimate_s = 0.0 }
+  in
+  let via_restore =
+    Time_travel.materialise ~db ~name:"via_restore" ~wall_us:target forced_restore
+  in
+  (* Same split point, same data — compare a whole table. *)
+  let dump view =
+    let acc = ref [] in
+    Database.scan view ~table:"district" ~f:(fun row -> acc := row :: !acc);
+    List.rev !acc
+  in
+  check "identical district table" true (dump via_rewind = dump via_restore);
+  check "identical stock level answer" true
+    (Tpcc.stock_level via_rewind cfg ~w:1 ~d:1 ~threshold:50
+    = Tpcc.stock_level via_restore cfg ~w:1 ~d:1 ~threshold:50);
+  check "both views read-only" true
+    (Database.is_read_only via_rewind && Database.is_read_only via_restore)
+
+let test_estimates_are_sane () =
+  let db, _, backup, t0, t1 = build () in
+  let target = t1 -. (0.5 *. (t1 -. t0)) in
+  let p = Time_travel.plan ~db ~backups:[ backup ] ~wall_us:target ~pages_hint:8 in
+  (* Execute the chosen route and verify the estimate is the right order
+     of magnitude (within 20x — it is a planning heuristic, not a vow). *)
+  let before = Sim_clock.now_us (Database.clock db) in
+  ignore (Time_travel.materialise ~db ~name:"sanity" ~wall_us:target p);
+  let actual_s = (Sim_clock.now_us (Database.clock db) -. before) /. 1_000_000.0 in
+  let est =
+    match p.Time_travel.route with
+    | Time_travel.Rewind -> p.Time_travel.rewind_estimate_s
+    | Time_travel.Roll_forward _ -> p.Time_travel.restore_estimate_s
+  in
+  check "estimate within 20x of actual" true (est < actual_s *. 20.0 && est > actual_s /. 20.0)
+
+let () =
+  Alcotest.run "time_travel"
+    [
+      ( "planner",
+        [
+          Alcotest.test_case "decision flips with data accessed" `Quick
+            test_decision_flips_with_pages_hint;
+          Alcotest.test_case "no backup -> rewind" `Quick test_no_backup_forces_rewind;
+          Alcotest.test_case "late backup unusable" `Quick test_backup_after_target_unusable;
+          Alcotest.test_case "routes agree on data" `Quick test_routes_agree_on_data;
+          Alcotest.test_case "estimates sane" `Quick test_estimates_are_sane;
+        ] );
+    ]

@@ -1,0 +1,387 @@
+(* Tests for the write-ahead log: codec and record round-trips, append /
+   flush / crash semantics, the block cache, truncation and the FPI
+   directory. *)
+
+module Lsn = Rw_storage.Lsn
+module Page = Rw_storage.Page
+module Page_id = Rw_storage.Page_id
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+module Io_stats = Rw_storage.Io_stats
+module Txn_id = Rw_wal.Txn_id
+module Codec = Rw_wal.Codec
+module Lru = Rw_wal.Lru
+module Log_record = Rw_wal.Log_record
+module Log_manager = Rw_wal.Log_manager
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk_log ?(media = Media.ram) ?cache_blocks () =
+  let clock = Sim_clock.create () in
+  (clock, Log_manager.create ~clock ~media ?cache_blocks ())
+
+(* --- codec --- *)
+
+let test_codec_roundtrip () =
+  let e = Codec.encoder () in
+  Codec.u8 e 200;
+  Codec.u16 e 65535;
+  Codec.u32 e 123456789;
+  Codec.i64 e (-42L);
+  Codec.f64 e 3.25;
+  Codec.str16 e "hello";
+  Codec.str32 e (String.make 70000 'z');
+  let d = Codec.decoder (Codec.to_string e) in
+  check_int "u8" 200 (Codec.get_u8 d);
+  check_int "u16" 65535 (Codec.get_u16 d);
+  check_int "u32" 123456789 (Codec.get_u32 d);
+  check "i64" true (Codec.get_i64 d = -42L);
+  Alcotest.(check (float 0.0)) "f64" 3.25 (Codec.get_f64 d);
+  Alcotest.(check string) "str16" "hello" (Codec.get_str16 d);
+  check_int "str32 length" 70000 (String.length (Codec.get_str32 d));
+  check "consumed" true (Codec.at_end d)
+
+(* --- LRU --- *)
+
+let test_lru () =
+  let l = Lru.create ~capacity:3 in
+  check "miss" false (Lru.use l 1);
+  check "miss" false (Lru.use l 2);
+  check "miss" false (Lru.use l 3);
+  check "hit" true (Lru.use l 1);
+  (* inserting 4 evicts the LRU entry, which is 2 *)
+  check "miss" false (Lru.use l 4);
+  check "2 evicted" false (Lru.mem l 2);
+  check "1 kept" true (Lru.mem l 1);
+  check "3 kept" true (Lru.mem l 3);
+  check_int "size" 3 (Lru.size l);
+  Lru.remove l 3;
+  check "removed" false (Lru.mem l 3);
+  Lru.clear l;
+  check_int "cleared" 0 (Lru.size l)
+
+(* --- record serialisation --- *)
+
+let sample_ops =
+  [
+    Log_record.Insert_row { slot = 3; row = "abc" };
+    Log_record.Delete_row { slot = 0; row = "" };
+    Log_record.Update_row { slot = 7; before = "old"; after = "newer" };
+    Log_record.Set_header { field = Log_record.Next_page; before = -1L; after = 12L };
+    Log_record.Set_header { field = Log_record.Level; before = 0L; after = 1L };
+    Log_record.Format { typ = Page.Btree; level = 2 };
+    Log_record.Preformat { prev_image = String.make Page.page_size 'p' };
+    Log_record.Full_image { image = String.make Page.page_size 'i' };
+  ]
+
+let sample_bodies =
+  Log_record.Begin
+  :: Log_record.Commit { wall_us = 123.5 }
+  :: Log_record.Abort
+  :: Log_record.End
+  :: Log_record.Checkpoint
+       {
+         wall_us = 88.0;
+         active_txns = [ (Txn_id.of_int 3, Lsn.of_int 17); (Txn_id.of_int 9, Lsn.of_int 44) ];
+         dirty_pages = [ (Page_id.of_int 2, Lsn.of_int 5) ];
+       }
+  :: List.concat_map
+       (fun op ->
+         [
+           Log_record.Page_op { page = Page_id.of_int 5; prev_page_lsn = Lsn.of_int 9; op };
+           Log_record.Clr
+             {
+               page = Page_id.of_int 5;
+               prev_page_lsn = Lsn.of_int 9;
+               op;
+               undo_next = Lsn.of_int 3;
+             };
+         ])
+       sample_ops
+
+let test_record_roundtrip () =
+  List.iteri
+    (fun i body ->
+      let r = Log_record.make ~txn:(Txn_id.of_int i) ~prev_txn_lsn:(Lsn.of_int (i * 3)) body in
+      let r' = Log_record.decode (Log_record.encode r) in
+      if r <> r' then Alcotest.failf "roundtrip mismatch for %s" (Log_record.kind_name r))
+    sample_bodies
+
+let record_gen =
+  let open QCheck.Gen in
+  let op_gen =
+    oneof
+      [
+        map2 (fun slot row -> Log_record.Insert_row { slot; row }) (0 -- 100) (string_size (0 -- 50));
+        map2 (fun slot row -> Log_record.Delete_row { slot; row }) (0 -- 100) (string_size (0 -- 50));
+        map3
+          (fun slot before after -> Log_record.Update_row { slot; before; after })
+          (0 -- 100) (string_size (0 -- 50)) (string_size (0 -- 50));
+        map2
+          (fun before after ->
+            Log_record.Set_header { field = Log_record.Special; before; after })
+          (map Int64.of_int int) (map Int64.of_int int);
+      ]
+  in
+  let body_gen =
+    oneof
+      [
+        return Log_record.Begin;
+        map (fun w -> Log_record.Commit { wall_us = w }) (float_bound_inclusive 1e9);
+        return Log_record.Abort;
+        return Log_record.End;
+        map2
+          (fun page op ->
+            Log_record.Page_op
+              { page = Page_id.of_int page; prev_page_lsn = Lsn.of_int 7; op })
+          (0 -- 10000) op_gen;
+      ]
+  in
+  map2
+    (fun txn body -> Log_record.make ~txn:(Txn_id.of_int txn) body)
+    (0 -- 1000) body_gen
+
+let record_roundtrip_prop =
+  QCheck.Test.make ~name:"log record encode/decode roundtrip" ~count:500
+    (QCheck.make record_gen) (fun r -> Log_record.decode (Log_record.encode r) = r)
+
+let test_invert_involution () =
+  List.iter
+    (fun op ->
+      match Log_record.invert op with
+      | None -> ()
+      | Some inv -> (
+          match (op, Log_record.invert inv) with
+          | Log_record.Format _, _ -> () (* format inversion is lossy by design *)
+          | _, Some back ->
+              if back <> op then Alcotest.fail "invert should be an involution"
+          | _, None -> Alcotest.fail "inverse should be invertible"))
+    sample_ops
+
+(* Logical page content: slotted ops are not byte-exact inverses (free
+   space bookkeeping differs after compaction), but queries only observe
+   header fields and records — which must round-trip exactly. *)
+let canonical p =
+  ( Page.lsn p,
+    Page.typ p,
+    Page.level p,
+    Page.prev_page p,
+    Page.next_page p,
+    Page.special p,
+    List.init (Rw_storage.Slotted_page.count p) (fun i -> Rw_storage.Slotted_page.get p ~at:i) )
+
+let test_redo_undo_inverse () =
+  (* For content ops: redo then undo restores the page's logical content. *)
+  let mk () =
+    let p = Page.create ~id:(Page_id.of_int 5) ~typ:Page.Btree in
+    Rw_storage.Slotted_page.insert p ~at:0 "row0";
+    Rw_storage.Slotted_page.insert p ~at:1 "row1";
+    p
+  in
+  let ops =
+    [
+      Log_record.Insert_row { slot = 1; row = "inserted" };
+      Log_record.Delete_row { slot = 0; row = "row0" };
+      Log_record.Update_row { slot = 1; before = "row1"; after = "replacement" };
+      Log_record.Set_header { field = Log_record.Next_page; before = -1L; after = 7L };
+    ]
+  in
+  List.iter
+    (fun op ->
+      let p = mk () in
+      let orig = canonical p in
+      Log_record.redo (Page_id.of_int 5) op p;
+      check "redo changed page" true (canonical p <> orig);
+      Log_record.undo op p;
+      check "undo restores logical content" true (canonical p = orig))
+    ops
+
+(* --- log manager --- *)
+
+let page_op ?(txn = Txn_id.nil) ?(prev = Lsn.nil) ?(pid = 3) op =
+  Log_record.make ~txn (Log_record.Page_op { page = Page_id.of_int pid; prev_page_lsn = prev; op })
+
+let test_append_read () =
+  let _, log = mk_log () in
+  let r1 = Log_record.make ~txn:(Txn_id.of_int 1) Log_record.Begin in
+  let r2 = page_op (Log_record.Insert_row { slot = 0; row = "x" }) in
+  let l1 = Log_manager.append log r1 in
+  let l2 = Log_manager.append log r2 in
+  check "lsns increase" true Lsn.(l2 > l1);
+  check "read back 1" true (Log_manager.read log l1 = r1);
+  check "read back 2" true (Log_manager.read log l2 = r2);
+  check_int "record count" 2 (Log_manager.record_count log);
+  check "next_lsn_after" true (Lsn.equal (Log_manager.next_lsn_after log l1) l2)
+
+let test_lsn_is_offset () =
+  let _, log = mk_log () in
+  let r = Log_record.make Log_record.Begin in
+  let l1 = Log_manager.append log r in
+  let l2 = Log_manager.append log r in
+  check_int "lsn delta equals record size" (String.length (Log_record.encode r))
+    (Lsn.to_int l2 - Lsn.to_int l1)
+
+let test_flush_crash () =
+  let _, log = mk_log () in
+  let l1 = Log_manager.append log (Log_record.make Log_record.Begin) in
+  Log_manager.flush log ~upto:l1;
+  let l2 = Log_manager.append log (Log_record.make Log_record.Abort) in
+  check "l2 not durable" true Lsn.(Log_manager.flushed_lsn log <= l2);
+  Log_manager.crash log;
+  check "l1 survives" true (Log_manager.mem log l1);
+  check "l2 lost" false (Log_manager.mem log l2);
+  check "end lsn rolled back" true (Lsn.equal (Log_manager.end_lsn log) (Log_manager.flushed_lsn log))
+
+let test_iter_range () =
+  let _, log = mk_log () in
+  let lsns =
+    List.init 10 (fun i ->
+        Log_manager.append log (Log_record.make ~txn:(Txn_id.of_int i) Log_record.Begin))
+  in
+  let seen = ref [] in
+  Log_manager.iter_range log ~from:(List.nth lsns 2) ~upto:(List.nth lsns 7) (fun lsn _ ->
+      seen := lsn :: !seen);
+  check_int "range covers [2,7)" 5 (List.length !seen);
+  let seen_rev = ref [] in
+  Log_manager.iter_range_rev log ~from:(List.nth lsns 2) ~upto:(List.nth lsns 7) (fun lsn _ ->
+      seen_rev := lsn :: !seen_rev);
+  check "reverse order" true (!seen_rev = List.rev !seen)
+
+let test_truncate () =
+  let _, log = mk_log () in
+  let lsns = List.init 10 (fun _ -> Log_manager.append log (Log_record.make Log_record.Begin)) in
+  let cut = List.nth lsns 5 in
+  Log_manager.truncate_before log cut;
+  check "old gone" false (Log_manager.mem log (List.nth lsns 0));
+  check "new kept" true (Log_manager.mem log (List.nth lsns 5));
+  check "first_lsn moved" true (Lsn.equal (Log_manager.first_lsn log) cut);
+  Alcotest.check_raises "reading truncated raises"
+    (Log_manager.Log_truncated (List.nth lsns 0))
+    (fun () -> ignore (Log_manager.read log (List.nth lsns 0)))
+
+let test_cache_misses_cost () =
+  let clock, log = mk_log ~media:Media.ssd ~cache_blocks:2 () in
+  (* Write enough records to span many 64KiB blocks. *)
+  let image = String.make Page.page_size 'i' in
+  let lsns =
+    List.init 64 (fun _ -> Log_manager.append log (page_op (Log_record.Full_image { image })))
+  in
+  Log_manager.flush_all log;
+  let t0 = Sim_clock.now_us clock in
+  let stats0 = Io_stats.copy (Log_manager.stats log) in
+  (* Reading the oldest record must miss the tiny cache. *)
+  ignore (Log_manager.read log (List.hd lsns));
+  let d = Io_stats.diff (Log_manager.stats log) stats0 in
+  check "cold read misses" true (d.Io_stats.random_reads >= 1);
+  check "cold read costs time" true (Sim_clock.now_us clock > t0);
+  (* Re-reading the same record now hits. *)
+  let stats1 = Io_stats.copy (Log_manager.stats log) in
+  ignore (Log_manager.read log (List.hd lsns));
+  let d2 = Io_stats.diff (Log_manager.stats log) stats1 in
+  check_int "warm read hits" 0 d2.Io_stats.random_reads
+
+let test_fpi_directory () =
+  let _, log = mk_log () in
+  let image = String.make Page.page_size 'i' in
+  let fpi pid = page_op ~pid (Log_record.Full_image { image }) in
+  let other pid = page_op ~pid (Log_record.Insert_row { slot = 0; row = "r" }) in
+  let _ = Log_manager.append log (other 1) in
+  let f1 = Log_manager.append log (fpi 1) in
+  let _ = Log_manager.append log (other 1) in
+  let f2 = Log_manager.append log (fpi 1) in
+  let _ = Log_manager.append log (fpi 2) in
+  (match Log_manager.earliest_fpi_after log (Page_id.of_int 1) ~after:Lsn.nil with
+  | Some l -> check "earliest is f1" true (Lsn.equal l f1)
+  | None -> Alcotest.fail "expected fpi");
+  (match Log_manager.earliest_fpi_after log (Page_id.of_int 1) ~after:f1 with
+  | Some l -> check "after f1 is f2" true (Lsn.equal l f2)
+  | None -> Alcotest.fail "expected fpi");
+  check "after f2 none" true
+    (Log_manager.earliest_fpi_after log (Page_id.of_int 1) ~after:f2 = None);
+  check "unknown page none" true
+    (Log_manager.earliest_fpi_after log (Page_id.of_int 99) ~after:Lsn.nil = None)
+
+let test_checkpoints_before () =
+  let _, log = mk_log () in
+  let ckpt () =
+    Log_manager.append log
+      (Log_record.make (Log_record.Checkpoint { wall_us = 0.0; active_txns = []; dirty_pages = [] }))
+  in
+  let c1 = ckpt () in
+  let _ = Log_manager.append log (Log_record.make Log_record.Begin) in
+  let c2 = ckpt () in
+  let cs = Log_manager.checkpoints_before log (Log_manager.end_lsn log) in
+  check "two checkpoints newest first" true (cs = [ c2; c1 ]);
+  let cs1 = Log_manager.checkpoints_before log c2 in
+  check "bounded" true (cs1 = [ c2; c1 ] || cs1 = [ c1 ]);
+  check "before c1 only c1" true (Log_manager.checkpoints_before log c1 = [ c1 ])
+
+let test_truncate_prunes_indexes () =
+  let _, log = mk_log () in
+  let image = String.make Page.page_size 'i' in
+  let ckpt () =
+    Log_manager.append log
+      (Log_record.make (Log_record.Checkpoint { wall_us = 0.0; active_txns = []; dirty_pages = [] }))
+  in
+  let f1 = Log_manager.append log (page_op ~pid:1 (Log_record.Full_image { image })) in
+  let c1 = ckpt () in
+  let c2 = ckpt () in
+  let _f2 = Log_manager.append log (page_op ~pid:1 (Log_record.Full_image { image })) in
+  Log_manager.truncate_before log c2;
+  (* The truncated FPI and checkpoint must no longer be surfaced. *)
+  (match Log_manager.earliest_fpi_after log (Page_id.of_int 1) ~after:Lsn.nil with
+  | Some l -> check "first surviving fpi is after truncation" true Lsn.(l >= c2)
+  | None -> Alcotest.fail "expected a surviving fpi lookup path");
+  check "old checkpoint pruned" false
+    (List.exists (Lsn.equal c1) (Log_manager.checkpoints_before log (Log_manager.end_lsn log)));
+  check "old fpi unreadable" true
+    (match Log_manager.read log f1 with
+    | exception Log_manager.Log_truncated _ -> true
+    | _ -> false)
+
+let test_read_non_boundary () =
+  let _, log = mk_log () in
+  let l1 = Log_manager.append log (Log_record.make Log_record.Begin) in
+  let _l2 = Log_manager.append log (Log_record.make Log_record.Begin) in
+  match Log_manager.read log (Lsn.of_int (Lsn.to_int l1 + 1)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected invalid_argument for a mid-record lsn"
+
+let test_total_bytes_accounting () =
+  let _, log = mk_log () in
+  let r = Log_record.make Log_record.Begin in
+  let sz = String.length (Log_record.encode r) in
+  for _ = 1 to 5 do
+    ignore (Log_manager.append log r)
+  done;
+  check_int "total appended" (5 * sz) (Log_manager.total_appended_bytes log);
+  check_int "retained" (5 * sz) (Log_manager.retained_bytes log)
+
+let () =
+  Alcotest.run "wal"
+    [
+      ("codec", [ Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip ]);
+      ("lru", [ Alcotest.test_case "eviction order" `Quick test_lru ]);
+      ( "records",
+        [
+          Alcotest.test_case "all kinds roundtrip" `Quick test_record_roundtrip;
+          QCheck_alcotest.to_alcotest record_roundtrip_prop;
+          Alcotest.test_case "invert involution" `Quick test_invert_involution;
+          Alcotest.test_case "redo/undo inverse" `Quick test_redo_undo_inverse;
+        ] );
+      ( "log_manager",
+        [
+          Alcotest.test_case "append and read" `Quick test_append_read;
+          Alcotest.test_case "lsn = offset" `Quick test_lsn_is_offset;
+          Alcotest.test_case "flush and crash" `Quick test_flush_crash;
+          Alcotest.test_case "range iteration" `Quick test_iter_range;
+          Alcotest.test_case "truncation" `Quick test_truncate;
+          Alcotest.test_case "block cache costs" `Quick test_cache_misses_cost;
+          Alcotest.test_case "fpi directory" `Quick test_fpi_directory;
+          Alcotest.test_case "checkpoint index" `Quick test_checkpoints_before;
+          Alcotest.test_case "truncation prunes indexes" `Quick test_truncate_prunes_indexes;
+          Alcotest.test_case "mid-record lsn rejected" `Quick test_read_non_boundary;
+          Alcotest.test_case "byte accounting" `Quick test_total_bytes_accounting;
+        ] );
+    ]
