@@ -5,6 +5,7 @@
      main.exe fig5 fig7 ...      run selected experiments
      main.exe micro              run only the Bechamel microbenchmarks
      main.exe all --quick       shrink workloads (smoke mode)
+     main.exe ... --json        also write BENCH_micro.json (name -> ns/run)
 
    Experiment output is the paper-shaped table for each figure/section of
    the evaluation (see DESIGN.md's per-experiment index). *)
@@ -102,11 +103,53 @@ module Micro = struct
            let copy = Page.copy page in
            ignore (Rw_core.Page_undo.prepare_page_as_of ~log ~page:copy ~as_of:(Lsn.of_int 1))))
 
+  (* The record-at-a-time reference walk over the same history: the gap
+     between this row and the one above is what the chain index + decoded
+     record cache buy. *)
+  let test_prepare_page_walk =
+    let log, page = prepare_env () in
+    Test.make ~name:"prepare_page_as_of_walk (400-op rewind)"
+      (Staged.stage (fun () ->
+           let copy = Page.copy page in
+           ignore (Rw_core.Page_undo.prepare_page_as_of_walk ~log ~page:copy ~as_of:(Lsn.of_int 1))))
+
   let tests =
     Test.make_grouped ~name:"core-primitives"
-      [ test_slotted_insert; test_crc32; test_log_append; test_record_codec; test_prepare_page ]
+      [
+        test_slotted_insert;
+        test_crc32;
+        test_log_append;
+        test_record_codec;
+        test_prepare_page;
+        test_prepare_page_walk;
+      ]
 
-  let run () =
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let write_json ~path rows =
+    let oc = open_out path in
+    output_string oc "{\n";
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "  \"%s\": %s%s\n" (json_escape name)
+          (if Float.is_nan ns then "null" else Printf.sprintf "%.2f" ns)
+          (if i < List.length rows - 1 then "," else ""))
+      rows;
+    output_string oc "}\n";
+    close_out oc;
+    Printf.printf "wrote %s (%d benchmarks, ns/run)\n" path (List.length rows)
+
+  let run ?(json = false) () =
     print_endline "\n=== Microbenchmarks (Bechamel, real time) ===";
     let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
     let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
@@ -131,18 +174,21 @@ module Micro = struct
         in
         Printf.printf "%-55s %15s\n" name pretty)
       rows;
+    if json then write_json ~path:"BENCH_micro.json" rows;
     print_newline ()
 end
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick") args in
-  let run_micro () = Micro.run () in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--quick" && a <> "--json") args in
+  let run_micro () = Micro.run ~json () in
   match args with
   | [] | [ "all" ] ->
       Experiments.run_all ~quick ();
-      run_micro ()
+      (* The full run always leaves a machine-readable perf trail. *)
+      Micro.run ~json:true ()
   | names ->
       List.iter
         (fun arg ->

@@ -55,6 +55,16 @@ val in_flight_txns : t -> int
     snapshot view. *)
 
 val undo_ops : t -> int
+
+val materialize_batch : t -> Rw_storage.Page_id.t list -> int
+(** Rewind the given pages into the sparse file in one batch: primary
+    images are read first, the union of their undo chains is prefetched
+    into the log block cache in ascending LSN order (sequentialising what
+    the per-page protocol reads randomly), then each page is rewound and
+    cached.  Pages already materialised are skipped; returns the number of
+    pages actually rewound.  Warming is semantically transparent —
+    subsequent reads return exactly what the §5.3 protocol would. *)
+
 val pages_materialised : t -> int
 (** Pages currently cached in the sparse file. *)
 

@@ -8,30 +8,38 @@ exception Chain_broken of { page : Page_id.t; lsn : Lsn.t }
 
 type result = { ops_undone : int; log_records_read : int; used_fpi : bool }
 
-let prepare_page_as_of ~log ~page ~as_of =
+let read_chain_record log pid lsn =
+  match Log_manager.read log lsn with
+  | r -> r
+  | exception Log_manager.No_such_record _ -> raise (Chain_broken { page = pid; lsn })
+
+(* Jump-start: restore the earliest full page image logged after the
+   target point, if one exists below the page's current position; the
+   image embeds the page LSN it was taken at, so the walk resumes from
+   there and the log region above the image is never visited. *)
+let try_fpi_jump ~log ~page ~as_of ~reads =
   let pid = Page.id page in
-  let reads = ref 0 in
-  let used_fpi = ref false in
-  (* Jump-start: restore the earliest full page image logged after the
-     target point, if one exists below the page's current position; the
-     image embeds the page LSN it was taken at, so the walk resumes from
-     there and the log region above the image is never visited. *)
-  (match Log_manager.earliest_fpi_after log pid ~after:as_of with
+  match Log_manager.earliest_fpi_after log pid ~after:as_of with
   | Some fpi_lsn when Lsn.(fpi_lsn < Page.lsn page) -> (
       incr reads;
-      let r = Log_manager.read log fpi_lsn in
+      let r = read_chain_record log pid fpi_lsn in
       match Log_record.op_of r with
       | Some (Log_record.Full_image { image }) ->
           Bytes.blit_string image 0 page 0 Page.page_size;
-          used_fpi := true
+          true
       | _ -> raise (Chain_broken { page = pid; lsn = fpi_lsn }))
-  | _ -> ());
+  | _ -> false
+
+let prepare_page_as_of_walk ~log ~page ~as_of =
+  let pid = Page.id page in
+  let reads = ref 0 in
+  let used_fpi = try_fpi_jump ~log ~page ~as_of ~reads in
   let undone = ref 0 in
   let rec walk () =
     let curr = Page.lsn page in
     if Lsn.(curr > as_of) then begin
       incr reads;
-      let r = Log_manager.read log curr in
+      let r = read_chain_record log pid curr in
       match r.Log_record.body with
       | Log_record.Page_op { page = rpid; prev_page_lsn; op }
       | Log_record.Clr { page = rpid; prev_page_lsn; op; _ } ->
@@ -44,4 +52,74 @@ let prepare_page_as_of ~log ~page ~as_of =
     end
   in
   walk ();
-  { ops_undone = !undone; log_records_read = !reads; used_fpi = !used_fpi }
+  { ops_undone = !undone; log_records_read = !reads; used_fpi }
+
+(* Batched rewind: the chain index yields the page's whole backward chain
+   in one lookup, so the records are fetched in ascending LSN order (block
+   locality) instead of pointer-chasing backwards.  Every link is validated
+   against the fetched headers before the page is mutated; any mismatch —
+   stale index, corrupt chain — falls back to the pointer walk on the
+   untouched page, which reproduces the walk's exact result and exception
+   behaviour. *)
+let prepare_page_as_of ~log ~page ~as_of =
+  let pid = Page.id page in
+  let reads = ref 0 in
+  let used_fpi = try_fpi_jump ~log ~page ~as_of ~reads in
+  let start = Page.lsn page in
+  if Lsn.(start <= as_of) then { ops_undone = 0; log_records_read = !reads; used_fpi }
+  else begin
+    let segment = Log_manager.chain_segment log pid ~from:start ~down_to:as_of in
+    let n = Array.length segment in
+    let fallback () =
+      (* The index does not reach the page's position (e.g. the chain left
+         the retention window) or a link failed validation: let the walk
+         produce the right answer or the right exception on the untouched
+         page. *)
+      let w = prepare_page_as_of_walk ~log ~page ~as_of in
+      { w with log_records_read = w.log_records_read + !reads; used_fpi }
+    in
+    if n = 0 || not (Lsn.equal segment.(n - 1) start) then fallback ()
+    else
+      match Log_manager.read_segment log segment with
+      | exception Log_manager.No_such_record _ -> fallback ()
+      | records ->
+          reads := !reads + n;
+          (* Validate linearity before touching the page: each record
+             belongs to this page and points at the previous segment
+             element; the oldest must point at or below [as_of]. *)
+          let prev_of r =
+            match r.Log_record.body with
+            | Log_record.Page_op { page = rpid; prev_page_lsn; _ }
+            | Log_record.Clr { page = rpid; prev_page_lsn; _ } ->
+                if Page_id.equal rpid pid then Some prev_page_lsn else None
+            | _ -> None
+          in
+          let valid = ref true in
+          let i = ref 0 in
+          while !valid && !i < n do
+            (match prev_of records.(!i) with
+            | Some prev ->
+                let want = if !i = 0 then as_of else segment.(!i - 1) in
+                if !i = 0 then valid := Lsn.(prev <= want)
+                else valid := Lsn.equal prev want
+            | None -> valid := false);
+            incr i
+          done;
+          if not !valid then fallback ()
+          else begin
+            (* Newest record first, as the walk would apply them. *)
+            for i = n - 1 downto 0 do
+              match records.(i).Log_record.body with
+              | Log_record.Page_op { op; _ } | Log_record.Clr { op; _ } ->
+                  Log_record.undo op page
+              | _ -> assert false
+            done;
+            (* The intermediate page LSNs the walk would stamp are all
+               overwritten by the next undo's stamp; only the final one —
+               the oldest record's back pointer — is observable. *)
+            (match prev_of records.(0) with
+            | Some prev -> Page.set_lsn page prev
+            | None -> assert false);
+            { ops_undone = n; log_records_read = !reads; used_fpi }
+          end
+  end

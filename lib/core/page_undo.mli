@@ -26,4 +26,16 @@ val prepare_page_as_of :
 (** Rewind [page] in place so it reflects only log records with
     LSN <= [as_of].  A page whose LSN is already at or below [as_of] is
     untouched.  Raises {!Rw_wal.Log_manager.Log_truncated} when the chain
-    leaves the retention window, {!Chain_broken} on corruption. *)
+    leaves the retention window, {!Chain_broken} on corruption.
+
+    The chain records are located through the log manager's per-page chain
+    index and fetched in ascending LSN order; every backward link is
+    validated against the fetched headers before the page is mutated, and
+    any mismatch falls back to {!prepare_page_as_of_walk} on the untouched
+    page — the two entry points are byte-identical in effect. *)
+
+val prepare_page_as_of_walk :
+  log:Rw_wal.Log_manager.t -> page:Rw_storage.Page.t -> as_of:Rw_storage.Lsn.t -> result
+(** The record-at-a-time reference implementation: pointer-chases
+    [prevPageLSN] backwards exactly as the paper describes.  Kept public as
+    the oracle for regression tests and as the fallback path. *)

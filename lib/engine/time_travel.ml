@@ -86,10 +86,25 @@ let plan ~db ~backups ~wall_us ~pages_hint =
       let route = if rewind_estimate_s <= restore_estimate_s then Rewind else Roll_forward backup in
       { route; rewind_estimate_s; restore_estimate_s }
 
-let materialise ~db ~name ~wall_us plan =
-  match plan.route with
-  | Rewind -> Database.create_as_of_snapshot db ~name ~wall_us
-  | Roll_forward backup -> Backup.restore_as_of backup ~from:db ~wall_us
+let warm view =
+  match Database.snapshot_handle view with
+  | None -> 0
+  | Some snap ->
+      let log = Database.log view in
+      let split = Rw_core.As_of_snapshot.split_lsn snap in
+      (* Only pages with chain records after the split need rewinding; the
+         rest are served from their primary images as-is. *)
+      let pages = Log_manager.pages_changed_since log ~since:split in
+      Rw_core.As_of_snapshot.materialize_batch snap pages
+
+let materialise ?(prewarm = false) ~db ~name ~wall_us plan =
+  let view =
+    match plan.route with
+    | Rewind -> Database.create_as_of_snapshot db ~name ~wall_us
+    | Roll_forward backup -> Backup.restore_as_of backup ~from:db ~wall_us
+  in
+  if prewarm then ignore (warm view);
+  view
 
 let pp_plan fmt t =
   Format.fprintf fmt "route=%s rewind~%.3fs restore~%.3fs"

@@ -24,7 +24,18 @@ val plan : db:Database.t -> backups:Backup.t list -> wall_us:float -> pages_hint
 (** Estimate both routes to the state as of [wall_us] and pick the
     cheaper.  Only backups taken at or before [wall_us] are considered. *)
 
-val materialise : db:Database.t -> name:string -> wall_us:float -> plan -> Database.t
-(** Execute the chosen route; returns a read-only view as of [wall_us]. *)
+val materialise :
+  ?prewarm:bool -> db:Database.t -> name:string -> wall_us:float -> plan -> Database.t
+(** Execute the chosen route; returns a read-only view as of [wall_us].
+    With [prewarm] (default false) a rewind view is immediately warmed via
+    {!warm}, trading up-front sequential log I/O for random-read-free
+    scans. *)
+
+val warm : Database.t -> int
+(** Batch-materialize every page that changed after the view's split point
+    into its sparse file ({!Rw_core.As_of_snapshot.materialize_batch}),
+    so subsequent scans never rewind on the fly.  Returns the number of
+    pages materialized; no-op (0) on a primary database or a restored
+    backup. *)
 
 val pp_plan : Format.formatter -> plan -> unit

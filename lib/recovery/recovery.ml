@@ -27,14 +27,20 @@ let checkpoint ~log ~pool ~txns ~wall_us ?(flush_pages = false) () =
 type analysis = {
   losers : (Txn_id.t, Lsn.t) Hashtbl.t;
   dirty_pages : (int, Lsn.t) Hashtbl.t;
+  txn_pages : (Txn_id.t, (int, unit) Hashtbl.t) Hashtbl.t;
   redo_start : Lsn.t;
   max_txn_id : Txn_id.t;
   records_scanned : int;
 }
 
+(* Analysis only needs record headers (txn, kind, page); the one exception
+   is checkpoint records, whose embedded tables require a decode — the
+   on-demand thunk provides it.  Everything else is peeked, so the scan
+   never allocates row payloads. *)
 let analyze ~log ~start ~upto =
   let losers = Hashtbl.create 16 in
   let dirty_pages = Hashtbl.create 64 in
+  let txn_pages = Hashtbl.create 16 in
   let max_txn = ref Txn_id.nil in
   let scanned = ref 0 in
   let see_txn txn = if Txn_id.compare txn !max_txn > 0 then max_txn := txn in
@@ -42,52 +48,82 @@ let analyze ~log ~start ~upto =
     let k = Page_id.to_int page in
     if not (Hashtbl.mem dirty_pages k) then Hashtbl.replace dirty_pages k lsn
   in
-  Log_manager.iter_range log ~from:start ~upto (fun lsn r ->
+  let note_txn_page txn page =
+    let pages =
+      match Hashtbl.find_opt txn_pages txn with
+      | Some h -> h
+      | None ->
+          let h = Hashtbl.create 8 in
+          Hashtbl.replace txn_pages txn h;
+          h
+    in
+    Hashtbl.replace pages (Page_id.to_int page) ()
+  in
+  Log_manager.iter_range_peek log ~from:start ~upto (fun lsn pk decode ->
       incr scanned;
-      see_txn r.Log_record.txn;
-      match r.Log_record.body with
-      | Log_record.Checkpoint { active_txns; dirty_pages = dpt; _ } ->
-          List.iter
-            (fun (txn, last) ->
-              see_txn txn;
-              if not (Hashtbl.mem losers txn) then Hashtbl.replace losers txn last)
-            active_txns;
-          List.iter (fun (page, rec_lsn) -> see_page page rec_lsn) dpt
-      | Log_record.Begin -> Hashtbl.replace losers r.Log_record.txn lsn
-      | Log_record.Commit _ | Log_record.End -> Hashtbl.remove losers r.Log_record.txn
-      | Log_record.Abort ->
-          if Hashtbl.mem losers r.Log_record.txn then Hashtbl.replace losers r.Log_record.txn lsn
-      | Log_record.Page_op { page; _ } | Log_record.Clr { page; _ } ->
-          if not (Txn_id.is_nil r.Log_record.txn) then
-            Hashtbl.replace losers r.Log_record.txn lsn;
-          see_page page lsn);
+      let txn = pk.Log_record.p_txn in
+      see_txn txn;
+      match pk.Log_record.p_kind with
+      | Log_record.K_checkpoint -> (
+          match (decode ()).Log_record.body with
+          | Log_record.Checkpoint { active_txns; dirty_pages = dpt; _ } ->
+              List.iter
+                (fun (t, last) ->
+                  see_txn t;
+                  if not (Hashtbl.mem losers t) then Hashtbl.replace losers t last)
+                active_txns;
+              List.iter (fun (page, rec_lsn) -> see_page page rec_lsn) dpt
+          | _ -> assert false)
+      | Log_record.K_begin -> Hashtbl.replace losers txn lsn
+      | Log_record.K_commit | Log_record.K_end -> Hashtbl.remove losers txn
+      | Log_record.K_abort -> if Hashtbl.mem losers txn then Hashtbl.replace losers txn lsn
+      | Log_record.K_page_op _ | Log_record.K_clr _ ->
+          if not (Txn_id.is_nil txn) then begin
+            Hashtbl.replace losers txn lsn;
+            note_txn_page txn pk.Log_record.p_page
+          end;
+          see_page pk.Log_record.p_page lsn);
   let redo_start =
     Hashtbl.fold (fun _ rec_lsn acc -> Lsn.min rec_lsn acc) dirty_pages upto
   in
-  { losers; dirty_pages; redo_start; max_txn_id = !max_txn; records_scanned = !scanned }
+  { losers; dirty_pages; txn_pages; redo_start; max_txn_id = !max_txn; records_scanned = !scanned }
+
+let loser_pages analysis =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun txn _ ->
+      match Hashtbl.find_opt analysis.txn_pages txn with
+      | Some pages -> Hashtbl.iter (fun p () -> Hashtbl.replace seen p ()) pages
+      | None -> ())
+    analysis.losers;
+  Hashtbl.fold (fun p () acc -> Page_id.of_int p :: acc) seen []
 
 let redo_pass ~log ~pool ~analysis ~upto =
   let redone = ref 0 in
-  Log_manager.iter_range log ~from:analysis.redo_start ~upto (fun lsn r ->
-      match r.Log_record.body with
-      | Log_record.Page_op { page; op; _ } | Log_record.Clr { page; op; _ } -> (
-          match Hashtbl.find_opt analysis.dirty_pages (Page_id.to_int page) with
-          | Some rec_lsn when Lsn.(lsn >= rec_lsn) ->
-              let frame = Buffer_pool.fetch pool page in
-              Fun.protect
-                ~finally:(fun () -> Buffer_pool.unpin pool frame)
-                (fun () ->
-                  Latch.with_latch (Buffer_pool.frame_latch frame) Latch.Exclusive (fun () ->
-                      let p = Buffer_pool.page frame in
-                      (* The LSN comparison makes redo idempotent. *)
-                      if Lsn.(Page.lsn p < lsn) then begin
-                        Log_record.redo page op p;
-                        Page.set_lsn p lsn;
-                        Buffer_pool.mark_dirty pool frame ~lsn;
-                        incr redone
-                      end))
-          | _ -> ())
-      | _ -> ());
+  (* Peek-filter: only records for a dirty page at or past its recovery LSN
+     are decoded; the rest of the scan stays header-only. *)
+  Log_manager.iter_range_peek log ~from:analysis.redo_start ~upto (fun lsn pk decode ->
+      if Log_record.is_page_kind pk.Log_record.p_kind then
+        let page = pk.Log_record.p_page in
+        match Hashtbl.find_opt analysis.dirty_pages (Page_id.to_int page) with
+        | Some rec_lsn when Lsn.(lsn >= rec_lsn) -> (
+            match (decode ()).Log_record.body with
+            | Log_record.Page_op { op; _ } | Log_record.Clr { op; _ } ->
+                let frame = Buffer_pool.fetch pool page in
+                Fun.protect
+                  ~finally:(fun () -> Buffer_pool.unpin pool frame)
+                  (fun () ->
+                    Latch.with_latch (Buffer_pool.frame_latch frame) Latch.Exclusive (fun () ->
+                        let p = Buffer_pool.page frame in
+                        (* The LSN comparison makes redo idempotent. *)
+                        if Lsn.(Page.lsn p < lsn) then begin
+                          Log_record.redo page op p;
+                          Page.set_lsn p lsn;
+                          Buffer_pool.mark_dirty pool frame ~lsn;
+                          incr redone
+                        end))
+            | _ -> assert false)
+        | _ -> ());
   !redone
 
 let undo_losers ~log ~losers ~write_clr ~apply =

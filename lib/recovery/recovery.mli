@@ -25,6 +25,8 @@ type analysis = {
       (** transactions in flight at the analysis horizon, with last LSN *)
   dirty_pages : (int, Rw_storage.Lsn.t) Hashtbl.t;
       (** page id -> recovery LSN *)
+  txn_pages : (Rw_wal.Txn_id.t, (int, unit) Hashtbl.t) Hashtbl.t;
+      (** pages each transaction touched within the scanned region *)
   redo_start : Rw_storage.Lsn.t;
   max_txn_id : Rw_wal.Txn_id.t;
   records_scanned : int;
@@ -33,7 +35,13 @@ type analysis = {
 val analyze :
   log:Rw_wal.Log_manager.t -> start:Rw_storage.Lsn.t -> upto:Rw_storage.Lsn.t -> analysis
 (** Scan forward from [start] (normally the master checkpoint; its record
-    seeds the tables) up to, excluding, [upto]. *)
+    seeds the tables) up to, excluding, [upto].  The scan is header-only
+    (peek-based); only checkpoint records are decoded. *)
+
+val loser_pages : analysis -> Rw_storage.Page_id.t list
+(** Distinct pages touched by surviving losers within the scanned region —
+    the advisory work-list for batched loser undo (pages a loser touched
+    before [start] are simply absent; undo reads them individually). *)
 
 type stats = {
   analysis : analysis;

@@ -5,6 +5,13 @@ type t = {
   mutable seq_write_bytes : int;
   mutable random_read_bytes : int;
   mutable random_write_bytes : int;
+  (* Read-path cache layers (see DESIGN.md "Read-path caching layers").
+     These count lookups, not costs: only a block miss is charged as a
+     simulated random I/O, and record hits/misses never touch the clock. *)
+  mutable log_block_hits : int;
+  mutable log_block_misses : int;
+  mutable log_record_hits : int;
+  mutable log_record_misses : int;
 }
 
 let create () =
@@ -15,6 +22,10 @@ let create () =
     seq_write_bytes = 0;
     random_read_bytes = 0;
     random_write_bytes = 0;
+    log_block_hits = 0;
+    log_block_misses = 0;
+    log_record_hits = 0;
+    log_record_misses = 0;
   }
 
 let reset t =
@@ -23,7 +34,11 @@ let reset t =
   t.seq_read_bytes <- 0;
   t.seq_write_bytes <- 0;
   t.random_read_bytes <- 0;
-  t.random_write_bytes <- 0
+  t.random_write_bytes <- 0;
+  t.log_block_hits <- 0;
+  t.log_block_misses <- 0;
+  t.log_record_hits <- 0;
+  t.log_record_misses <- 0
 
 let copy t = { t with random_reads = t.random_reads }
 
@@ -35,6 +50,10 @@ let diff later earlier =
     seq_write_bytes = later.seq_write_bytes - earlier.seq_write_bytes;
     random_read_bytes = later.random_read_bytes - earlier.random_read_bytes;
     random_write_bytes = later.random_write_bytes - earlier.random_write_bytes;
+    log_block_hits = later.log_block_hits - earlier.log_block_hits;
+    log_block_misses = later.log_block_misses - earlier.log_block_misses;
+    log_record_hits = later.log_record_hits - earlier.log_record_hits;
+    log_record_misses = later.log_record_misses - earlier.log_record_misses;
   }
 
 let total_ios t = t.random_reads + t.random_writes
@@ -48,8 +67,18 @@ let add acc x =
   acc.seq_read_bytes <- acc.seq_read_bytes + x.seq_read_bytes;
   acc.seq_write_bytes <- acc.seq_write_bytes + x.seq_write_bytes;
   acc.random_read_bytes <- acc.random_read_bytes + x.random_read_bytes;
-  acc.random_write_bytes <- acc.random_write_bytes + x.random_write_bytes
+  acc.random_write_bytes <- acc.random_write_bytes + x.random_write_bytes;
+  acc.log_block_hits <- acc.log_block_hits + x.log_block_hits;
+  acc.log_block_misses <- acc.log_block_misses + x.log_block_misses;
+  acc.log_record_hits <- acc.log_record_hits + x.log_record_hits;
+  acc.log_record_misses <- acc.log_record_misses + x.log_record_misses
 
 let pp fmt t =
   Format.fprintf fmt "rreads:%d rwrites:%d seqR:%dB seqW:%dB" t.random_reads t.random_writes
     t.seq_read_bytes t.seq_write_bytes
+
+let pp_caches fmt t =
+  Format.fprintf fmt "block:%d/%d record:%d/%d" t.log_block_hits
+    (t.log_block_hits + t.log_block_misses)
+    t.log_record_hits
+    (t.log_record_hits + t.log_record_misses)

@@ -11,6 +11,13 @@ type t = {
   mutable seq_write_bytes : int;
   mutable random_read_bytes : int;
   mutable random_write_bytes : int;
+  mutable log_block_hits : int;
+      (** log block cache: read served without simulated I/O *)
+  mutable log_block_misses : int;  (** log block cache: priced random read *)
+  mutable log_record_hits : int;
+      (** decoded-record cache: decode skipped (pure CPU saving, no effect
+          on simulated I/O accounting) *)
+  mutable log_record_misses : int;  (** decoded-record cache: full decode *)
 }
 
 val create : unit -> t
@@ -26,3 +33,6 @@ val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc]. *)
 
 val pp : Format.formatter -> t -> unit
+
+val pp_caches : Format.formatter -> t -> unit
+(** Hit/total summary of the log read-path cache layers. *)

@@ -31,19 +31,21 @@ let check_index p ~at ~for_insert =
     invalid_arg
       (Printf.sprintf "Slotted_page: index %d out of bounds (count %d)" at n)
 
+(* Compaction scratch: one reused page-sized buffer instead of one
+   allocation per live record.  The simulator is single-threaded, so a
+   single module-level buffer is safe. *)
+let compact_scratch = Bytes.create Page.page_size
+
 let compact p =
   let n = count p in
-  (* Copy live records out, then lay them back down from the page end. *)
-  let recs =
-    Array.init n (fun i ->
-        let off = slot_offset p i and len = slot_length p i in
-        Bytes.sub p off len)
-  in
+  (* Snapshot the page, then lay the live records back down from the page
+     end, reading from the unmodified copy. *)
+  Bytes.blit p 0 compact_scratch 0 Page.page_size;
   let low = ref Page.page_size in
   for i = 0 to n - 1 do
-    let len = Bytes.length recs.(i) in
+    let off = slot_offset compact_scratch i and len = slot_length compact_scratch i in
     low := !low - len;
-    Bytes.blit recs.(i) 0 p !low len;
+    Bytes.blit compact_scratch off p !low len;
     set_slot p i ~offset:!low ~length:len
   done;
   Page.set_data_low p !low;

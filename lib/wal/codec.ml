@@ -21,6 +21,12 @@ let str32 e s =
   u32 e (String.length s);
   Buffer.add_string e s
 
+(* Positional peeks: read one field out of an encoded string without
+   building a decoder or advancing any cursor.  The header-peek read path
+   uses these to extract record headers without allocating payloads. *)
+let peek_u8 s pos = Char.code s.[pos]
+let peek_i64 s pos = String.get_int64_le s pos
+
 type decoder = { data : string; mutable pos : int }
 
 let decoder data = { data; pos = 0 }

@@ -15,6 +15,13 @@ val str16 : encoder -> string -> unit
 
 val str32 : encoder -> string -> unit
 
+val peek_u8 : string -> int -> int
+(** [peek_u8 s pos] reads the byte at [pos] without a decoder. *)
+
+val peek_i64 : string -> int -> int64
+(** [peek_i64 s pos] reads a little-endian int64 at [pos] without a
+    decoder. *)
+
 type decoder
 
 val decoder : string -> decoder

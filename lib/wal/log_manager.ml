@@ -5,8 +5,21 @@ module Sim_clock = Rw_storage.Sim_clock
 module Io_stats = Rw_storage.Io_stats
 
 exception Log_truncated of Lsn.t
+exception No_such_record of Lsn.t
 
-type entry = { lsn : Lsn.t; data : string }
+type entry = {
+  lsn : Lsn.t;
+  data : string;
+  mutable cached : Log_record.t Lru.Weighted.node option;
+      (* Slot handle into the decoded-record cache: a hit is one pointer
+         chase plus a liveness check, no table lookup.  A dead handle (the
+         cache evicted the slot) reads as a miss and is overwritten. *)
+}
+
+let empty_entry () = { lsn = Lsn.nil; data = ""; cached = None }
+
+(* Growable sorted array: one page's chain record LSNs, ascending. *)
+type chain = { mutable arr : Lsn.t array; mutable len : int }
 
 type t = {
   clock : Sim_clock.t;
@@ -21,19 +34,28 @@ type t = {
   mutable truncated_below : Lsn.t;
   cache : Lru.t;
   block_bytes : int;
+  record_cache : Log_record.t Lru.Weighted.t;
+      (* Decoded records keyed by LSN, weighed by encoded size.  Layered
+         over the block cache: block accounting (and therefore simulated
+         I/O cost) is identical whether or not a decode is skipped. *)
   mutable last_checkpoint : Lsn.t;
   mutable checkpoint_lsns : Lsn.t list; (* descending *)
   fpi_index : (int, Lsn.t list ref) Hashtbl.t; (* page -> descending FPI lsns *)
+  chain_index : (int, chain) Hashtbl.t;
+      (* page -> ascending LSNs of every Page_op/Clr record for that page;
+         the page's whole backward chain, materialised.  Maintained on
+         append/restore/truncate/crash exactly like [fpi_index]. *)
   mutable total_appended_bytes : int;
   mutable unflushed_bytes : int;
 }
 
-let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536) () =
+let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536)
+    ?(record_cache_bytes = 4 * 1024 * 1024) () =
   {
     clock;
     media;
     io = Io_stats.create ();
-    entries = Array.make 1024 { lsn = Lsn.nil; data = "" };
+    entries = Array.make 1024 (empty_entry ());
     start = 0;
     count = 0;
     index = Hashtbl.create 4096;
@@ -42,9 +64,11 @@ let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536) () =
     truncated_below = Lsn.of_int 1;
     cache = Lru.create ~capacity:cache_blocks;
     block_bytes;
+    record_cache = Lru.Weighted.create ~capacity_bytes:record_cache_bytes;
     last_checkpoint = Lsn.nil;
     checkpoint_lsns = [];
     fpi_index = Hashtbl.create 256;
+    chain_index = Hashtbl.create 1024;
     total_appended_bytes = 0;
     unflushed_bytes = 0;
   }
@@ -59,12 +83,13 @@ let set_last_checkpoint t lsn = t.last_checkpoint <- lsn
 let total_appended_bytes t = t.total_appended_bytes
 let retained_bytes t = Lsn.to_int t.end_lsn - Lsn.to_int t.truncated_below
 let record_count t = t.count - t.start
+let record_cache_bytes t = Lru.Weighted.size_bytes t.record_cache
 
 let grow t =
   if t.count = Array.length t.entries then begin
     let live = t.count - t.start in
     let cap = max 1024 (2 * live) in
-    let entries = Array.make cap { lsn = Lsn.nil; data = "" } in
+    let entries = Array.make cap (empty_entry ()) in
     Array.blit t.entries t.start entries 0 live;
     (* Entry indices shift by [t.start]; rebuild the lsn index. *)
     Hashtbl.reset t.index;
@@ -87,40 +112,102 @@ let touch_cache_on_append t lsn len =
     ignore (Lru.use t.cache b)
   done
 
-let record_fpi t record lsn =
-  match record.Log_record.body with
-  | Log_record.Page_op { page; op = Log_record.Full_image _; _ } ->
-      let key = Page_id.to_int page in
-      let l =
-        match Hashtbl.find_opt t.fpi_index key with
-        | Some l -> l
-        | None ->
-            let l = ref [] in
-            Hashtbl.replace t.fpi_index key l;
-            l
-      in
-      l := lsn :: !l
-  | _ -> ()
+let push_descending table key lsn =
+  let l =
+    match Hashtbl.find_opt table key with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace table key l;
+        l
+  in
+  l := lsn :: !l
 
-let record_checkpoint t record lsn =
-  match record.Log_record.body with
-  | Log_record.Checkpoint _ -> t.checkpoint_lsns <- lsn :: t.checkpoint_lsns
-  | _ -> ()
+(* A page's chain is a sorted array (appends arrive in LSN order), so
+   [chain_segment] is two binary searches plus one [Array.sub] — no list
+   walk, no per-record allocation. *)
+let chain_push t key lsn =
+  let c =
+    match Hashtbl.find_opt t.chain_index key with
+    | Some c -> c
+    | None ->
+        let c = { arr = Array.make 8 Lsn.nil; len = 0 } in
+        Hashtbl.replace t.chain_index key c;
+        c
+  in
+  if c.len = Array.length c.arr then begin
+    let bigger = Array.make (2 * c.len) Lsn.nil in
+    Array.blit c.arr 0 bigger 0 c.len;
+    c.arr <- bigger
+  end;
+  c.arr.(c.len) <- lsn;
+  c.len <- c.len + 1
+
+let chain_remove t key lsn =
+  match Hashtbl.find_opt t.chain_index key with
+  | None -> ()
+  | Some c ->
+      (* Removals come from [crash], which discards newest-first, so the
+         target is almost always the last element. *)
+      let i = ref (c.len - 1) in
+      while !i >= 0 && not (Lsn.equal c.arr.(!i) lsn) do
+        decr i
+      done;
+      if !i >= 0 then begin
+        Array.blit c.arr (!i + 1) c.arr !i (c.len - !i - 1);
+        c.len <- c.len - 1
+      end
+
+(* First index in [c] with value > v (c sorted ascending). *)
+let chain_upper c v =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Lsn.(c.arr.(mid) <= v) then go (mid + 1) hi else go lo mid
+  in
+  go 0 c.len
+
+(* Directory maintenance from a header peek — shared by append, restore
+   and crash so no path needs a payload decode to keep the indexes true. *)
+let index_record t pk lsn =
+  (match pk.Log_record.p_kind with
+  | Log_record.K_page_op Log_record.K_full_image ->
+      push_descending t.fpi_index (Page_id.to_int pk.Log_record.p_page) lsn
+  | Log_record.K_checkpoint -> t.checkpoint_lsns <- lsn :: t.checkpoint_lsns
+  | _ -> ());
+  if Log_record.is_page_kind pk.Log_record.p_kind then
+    chain_push t (Page_id.to_int pk.Log_record.p_page) lsn
+
+let unindex_record t pk lsn =
+  (match pk.Log_record.p_kind with
+  | Log_record.K_page_op Log_record.K_full_image -> (
+      match Hashtbl.find_opt t.fpi_index (Page_id.to_int pk.Log_record.p_page) with
+      | Some l -> l := List.filter (fun f -> not (Lsn.equal f lsn)) !l
+      | None -> ())
+  | Log_record.K_checkpoint ->
+      t.checkpoint_lsns <- List.filter (fun c -> not (Lsn.equal c lsn)) t.checkpoint_lsns
+  | _ -> ());
+  if Log_record.is_page_kind pk.Log_record.p_kind then
+    chain_remove t (Page_id.to_int pk.Log_record.p_page) lsn
 
 let append t record =
   let data = Log_record.encode record in
   let len = String.length data in
   let lsn = t.end_lsn in
   grow t;
-  t.entries.(t.count) <- { lsn; data };
+  let e = { lsn; data; cached = None } in
+  t.entries.(t.count) <- e;
   Hashtbl.replace t.index (Lsn.to_int lsn) t.count;
   t.count <- t.count + 1;
   t.end_lsn <- Lsn.of_int (Lsn.to_int lsn + len);
   t.total_appended_bytes <- t.total_appended_bytes + len;
   t.unflushed_bytes <- t.unflushed_bytes + len;
   touch_cache_on_append t lsn len;
-  record_fpi t record lsn;
-  record_checkpoint t record lsn;
+  index_record t (Log_record.peek data) lsn;
+  (* The record object is in hand; seed the decoded cache so the first
+     chain walk over fresh history never decodes. *)
+  e.cached <- Some (Lru.Weighted.add_node t.record_cache (Lsn.to_int lsn) ~weight:len record);
   lsn
 
 let flush t ~upto =
@@ -139,20 +226,112 @@ let find_index t lsn =
   if Lsn.(lsn < t.truncated_below) then raise (Log_truncated lsn);
   match Hashtbl.find_opt t.index (Lsn.to_int lsn) with
   | Some i when i >= t.start && i < t.count -> i
-  | _ -> invalid_arg (Printf.sprintf "Log_manager.read: no record at lsn %d" (Lsn.to_int lsn))
+  | _ -> raise (No_such_record lsn)
+
+(* Decode through the record cache; pure CPU layering, no I/O accounting.
+   The hit path is the hot loop of every chain walk — one pointer chase
+   through the entry's slot handle, no table lookup. *)
+let decode_miss t e =
+  t.io.Io_stats.log_record_misses <- t.io.Io_stats.log_record_misses + 1;
+  let r = Log_record.decode e.data in
+  e.cached <-
+    Some
+      (Lru.Weighted.add_node t.record_cache (Lsn.to_int e.lsn) ~weight:(String.length e.data) r);
+  r
+
+let decode_cached t e =
+  match e.cached with
+  | Some n when Lru.Weighted.alive n ->
+      t.io.Io_stats.log_record_hits <- t.io.Io_stats.log_record_hits + 1;
+      Lru.Weighted.touch t.record_cache n;
+      Lru.Weighted.node_value n
+  | _ -> decode_miss t e
+
+(* Batch variant: a segment read is one logical access, so hits skip the
+   per-record recency splice (the whole segment would land at the head of
+   the LRU list anyway). *)
+let decode_cached_quiet t e =
+  match e.cached with
+  | Some n when Lru.Weighted.alive n ->
+      t.io.Io_stats.log_record_hits <- t.io.Io_stats.log_record_hits + 1;
+      Lru.Weighted.node_value n
+  | _ -> decode_miss t e
 
 let read_nocost t lsn =
   let i = find_index t lsn in
-  Log_record.decode t.entries.(i).data
+  decode_cached t t.entries.(i)
+
+let charge_blocks t e =
+  let first, last = blocks_of t e.lsn (String.length e.data) in
+  for b = first to last do
+    if Lru.use t.cache b then t.io.Io_stats.log_block_hits <- t.io.Io_stats.log_block_hits + 1
+    else begin
+      t.io.Io_stats.log_block_misses <- t.io.Io_stats.log_block_misses + 1;
+      Media.random_read t.media t.clock t.io t.block_bytes
+    end
+  done
 
 let read t lsn =
   let i = find_index t lsn in
   let e = t.entries.(i) in
-  let first, last = blocks_of t e.lsn (String.length e.data) in
-  for b = first to last do
-    if not (Lru.use t.cache b) then Media.random_read t.media t.clock t.io t.block_bytes
-  done;
-  Log_record.decode e.data
+  charge_blocks t e;
+  decode_cached t e
+
+(* Batched random read of an ascending LSN list.  Block accounting is the
+   same as issuing [read] per record — each distinct block is a hit or one
+   priced random read — but charged once per block instead of once per
+   record, and the decodes go through the entry slot handles.  This is the
+   fetch primitive under the batched [prepare_page_as_of]. *)
+let read_segment t lsns =
+  if Array.length lsns = 0 then [||]
+  else begin
+    (* Entries are stored in ascending LSN order and the segment is
+       ascending, so after the first table lookup each record is located
+       by advancing a finger through the array — the lookup table is only
+       consulted again across a long gap of other pages' records. *)
+    let finger = ref (find_index t lsns.(0)) in
+    let last_block = ref (-1) in
+    (* Byte position already covered by the charged blocks; records that
+       end at or before it need no block arithmetic at all. *)
+    let charged_upto = ref 0 in
+    Array.map
+      (fun lsn ->
+        let i =
+          if !finger < t.count && Lsn.equal t.entries.(!finger).lsn lsn then !finger
+          else begin
+            let j = ref (!finger + 1) in
+            let fuel = ref 32 in
+            while !fuel > 0 && !j < t.count && not (Lsn.equal t.entries.(!j).lsn lsn) do
+              incr j;
+              decr fuel
+            done;
+            if !j < t.count && Lsn.equal t.entries.(!j).lsn lsn then !j else find_index t lsn
+          end
+        in
+        finger := i + 1;
+        let e = t.entries.(i) in
+        if Lsn.to_int e.lsn + String.length e.data - 1 > !charged_upto then begin
+          let first_b, last_b = blocks_of t e.lsn (String.length e.data) in
+          for b = max first_b (!last_block + 1) to last_b do
+            if Lru.use t.cache b then
+              t.io.Io_stats.log_block_hits <- t.io.Io_stats.log_block_hits + 1
+            else begin
+              t.io.Io_stats.log_block_misses <- t.io.Io_stats.log_block_misses + 1;
+              Media.random_read t.media t.clock t.io t.block_bytes
+            end
+          done;
+          if last_b > !last_block then begin
+            last_block := last_b;
+            charged_upto := ((last_b + 1) * t.block_bytes) - 1
+          end
+        end;
+        decode_cached_quiet t e)
+      lsns
+  end
+
+let peek_record t lsn =
+  let i = find_index t lsn in
+  Log_record.peek t.entries.(i).data
 
 let mem t lsn =
   Lsn.(lsn >= t.truncated_below)
@@ -185,6 +364,15 @@ let iter_range t ~from ~upto f =
     let e = t.entries.(!i) in
     charge_seq t (String.length e.data);
     f e.lsn (Log_record.decode e.data);
+    incr i
+  done
+
+let iter_range_peek t ~from ~upto f =
+  let i = ref (lower_bound t from) in
+  while !i < t.count && Lsn.(t.entries.(!i).lsn < upto) do
+    let e = t.entries.(!i) in
+    charge_seq t (String.length e.data);
+    f e.lsn (Log_record.peek e.data) (fun () -> decode_cached t e);
     incr i
   done
 
@@ -226,17 +414,91 @@ let earliest_fpi_after t page ~after =
       in
       go None !l
 
+let empty_segment : Lsn.t array = [||]
+
+let chain_segment t page ~from ~down_to =
+  match Hashtbl.find_opt t.chain_index (Page_id.to_int page) with
+  | None -> empty_segment
+  | Some c ->
+      (* The chain is pruned at truncation, so every element is retained;
+         the segment (down_to, from] is a contiguous run. *)
+      let lo = chain_upper c down_to in
+      let hi = chain_upper c from in
+      if hi <= lo then empty_segment else Array.sub c.arr lo (hi - lo)
+
+let pages_changed_since t ~since =
+  Hashtbl.fold
+    (fun page c acc ->
+      if c.len > 0 && Lsn.(c.arr.(c.len - 1) > since) then Page_id.of_int page :: acc else acc)
+    t.chain_index []
+
+let prefetch t lsns =
+  (* Resolve every requested record to its block set; unknown or truncated
+     LSNs are skipped — prefetch is advisory, the subsequent [read] is what
+     reports errors. *)
+  let blocks = ref [] in
+  List.iter
+    (fun lsn ->
+      if Lsn.(lsn >= t.truncated_below) then
+        match Hashtbl.find_opt t.index (Lsn.to_int lsn) with
+        | Some i when i >= t.start && i < t.count ->
+            let e = t.entries.(i) in
+            let first, last = blocks_of t e.lsn (String.length e.data) in
+            for b = first to last do
+              blocks := b :: !blocks
+            done
+        | _ -> ())
+    lsns;
+  let blocks = List.sort_uniq compare !blocks in
+  (* Consecutive missing blocks are fetched as one run: a single seek plus
+     sequential transfer, instead of one random I/O per block.  This is the
+     whole point of batching chain reads in LSN order. *)
+  let rec go = function
+    | [] -> ()
+    | b :: rest ->
+        if Lru.use t.cache b then begin
+          t.io.Io_stats.log_block_hits <- t.io.Io_stats.log_block_hits + 1;
+          go rest
+        end
+        else begin
+          t.io.Io_stats.log_block_misses <- t.io.Io_stats.log_block_misses + 1;
+          Media.random_read t.media t.clock t.io t.block_bytes;
+          let rec run prev = function
+            | b' :: rest' when b' = prev + 1 && not (Lru.mem t.cache b') ->
+                ignore (Lru.use t.cache b');
+                t.io.Io_stats.log_block_misses <- t.io.Io_stats.log_block_misses + 1;
+                Media.seq_read t.media t.clock t.io t.block_bytes;
+                run b' rest'
+            | rest' -> rest'
+          in
+          go (run b rest)
+        end
+  in
+  go blocks
+
 let truncate_before t lsn =
   if Lsn.(lsn > t.truncated_below) then begin
     let cut = lower_bound t lsn in
     for i = t.start to cut - 1 do
       Hashtbl.remove t.index (Lsn.to_int t.entries.(i).lsn);
-      t.entries.(i) <- { lsn = Lsn.nil; data = "" }
+      Lru.Weighted.remove t.record_cache (Lsn.to_int t.entries.(i).lsn);
+      t.entries.(i) <- (empty_entry ())
     done;
     t.start <- cut;
     t.truncated_below <- lsn;
     t.checkpoint_lsns <- List.filter (fun c -> Lsn.(c >= lsn)) t.checkpoint_lsns;
-    Hashtbl.iter (fun _ l -> l := List.filter (fun f -> Lsn.(f >= lsn)) !l) t.fpi_index
+    Hashtbl.iter (fun _ l -> l := List.filter (fun f -> Lsn.(f >= lsn)) !l) t.fpi_index;
+    (* Chains are ascending, so truncation drops a prefix: locate the first
+       surviving element and shift it to the front. *)
+    Hashtbl.iter
+      (fun _ c ->
+        (* First element >= lsn, i.e. strictly above the last dropped LSN. *)
+        let keep_from = chain_upper c (Lsn.of_int (Lsn.to_int lsn - 1)) in
+        if keep_from > 0 then begin
+          Array.blit c.arr keep_from c.arr 0 (c.len - keep_from);
+          c.len <- c.len - keep_from
+        end)
+      t.chain_index
   end
 
 let dump_entries t =
@@ -260,14 +522,12 @@ let restore_entries t entries =
       if not (Lsn.equal lsn t.end_lsn) then
         invalid_arg "Log_manager.restore_entries: non-contiguous entries";
       grow t;
-      t.entries.(t.count) <- { lsn; data };
+      t.entries.(t.count) <- { lsn; data; cached = None };
       Hashtbl.replace t.index (Lsn.to_int lsn) t.count;
       t.count <- t.count + 1;
       t.end_lsn <- Lsn.of_int (Lsn.to_int lsn + String.length data);
       t.total_appended_bytes <- t.total_appended_bytes + String.length data;
-      let record = Log_record.decode data in
-      record_fpi t record lsn;
-      record_checkpoint t record lsn)
+      index_record t (Log_record.peek data) lsn)
     entries;
   t.flushed_lsn <- t.end_lsn;
   t.last_checkpoint <- (match t.checkpoint_lsns with c :: _ -> c | [] -> Lsn.nil)
@@ -277,15 +537,9 @@ let crash t =
   while t.count > t.start && Lsn.(t.entries.(t.count - 1).lsn >= t.flushed_lsn) do
     let e = t.entries.(t.count - 1) in
     Hashtbl.remove t.index (Lsn.to_int e.lsn);
-    (match Log_record.decode e.data with
-    | { body = Log_record.Checkpoint _; _ } ->
-        t.checkpoint_lsns <- List.filter (fun c -> not (Lsn.equal c e.lsn)) t.checkpoint_lsns
-    | { body = Log_record.Page_op { page; op = Log_record.Full_image _; _ }; _ } -> (
-        match Hashtbl.find_opt t.fpi_index (Page_id.to_int page) with
-        | Some l -> l := List.filter (fun f -> not (Lsn.equal f e.lsn)) !l
-        | None -> ())
-    | _ -> ());
-    t.entries.(t.count - 1) <- { lsn = Lsn.nil; data = "" };
+    Lru.Weighted.remove t.record_cache (Lsn.to_int e.lsn);
+    unindex_record t (Log_record.peek e.data) e.lsn;
+    t.entries.(t.count - 1) <- (empty_entry ());
     t.count <- t.count - 1
   done;
   t.end_lsn <- t.flushed_lsn;

@@ -20,15 +20,23 @@ type t
 exception Log_truncated of Rw_storage.Lsn.t
 (** Raised when reading below the retention boundary. *)
 
+exception No_such_record of Rw_storage.Lsn.t
+(** Raised when an LSN inside the retained region is not a record
+    boundary (e.g. a corrupt chain pointer). *)
+
 val create :
   clock:Rw_storage.Sim_clock.t ->
   media:Rw_storage.Media.t ->
   ?cache_blocks:int ->
   ?block_bytes:int ->
+  ?record_cache_bytes:int ->
   unit ->
   t
 (** [cache_blocks] (default 128) and [block_bytes] (default 65536) size the
-    log block cache. *)
+    log block cache; [record_cache_bytes] (default 4 MiB) budgets the
+    decoded-record cache layered above it.  The record cache only skips
+    decode CPU work — block-level I/O accounting is identical with or
+    without it. *)
 
 val clock : t -> Rw_storage.Sim_clock.t
 val stats : t -> Rw_storage.Io_stats.t
@@ -52,10 +60,22 @@ val first_lsn : t -> Rw_storage.Lsn.t
 
 val read : t -> Rw_storage.Lsn.t -> Log_record.t
 (** Random record read through the block cache.  Raises {!Log_truncated}
-    below the retention boundary and [Invalid_argument] for an LSN that is
+    below the retention boundary and {!No_such_record} for an LSN that is
     not a record boundary. *)
 
 val read_nocost : t -> Rw_storage.Lsn.t -> Log_record.t
+
+val read_segment : t -> Rw_storage.Lsn.t array -> Log_record.t array
+(** Batched {!read} of an ascending LSN array (e.g. a {!chain_segment}).
+    Priced identically — every distinct block is a cache hit or one random
+    read — but the block cache is consulted once per block rather than once
+    per record, and decodes are served through the record cache.  Same
+    exceptions as {!read}. *)
+
+val peek_record : t -> Rw_storage.Lsn.t -> Log_record.peek
+(** Header-only view of a record; no payload allocation, no I/O charge.
+    Same exceptions as {!read}. *)
+
 val mem : t -> Rw_storage.Lsn.t -> bool
 val next_lsn_after : t -> Rw_storage.Lsn.t -> Rw_storage.Lsn.t
 (** The LSN of the record following the given one. *)
@@ -64,6 +84,18 @@ val iter_range :
   t -> from:Rw_storage.Lsn.t -> upto:Rw_storage.Lsn.t -> (Rw_storage.Lsn.t -> Log_record.t -> unit) -> unit
 (** In-order scan of records with [from <= lsn < upto]; priced sequentially.
     [from] is rounded up to the first retained record. *)
+
+val iter_range_peek :
+  t ->
+  from:Rw_storage.Lsn.t ->
+  upto:Rw_storage.Lsn.t ->
+  (Rw_storage.Lsn.t -> Log_record.peek -> (unit -> Log_record.t) -> unit) ->
+  unit
+(** Like {!iter_range} (same order, same sequential pricing) but the
+    callback receives only the record header plus a thunk that decodes the
+    full record on demand (through the decoded-record cache).  Scans that
+    filter on page/kind — recovery analysis, redo — avoid decoding the
+    records they skip. *)
 
 val iter_range_rev :
   t -> from:Rw_storage.Lsn.t -> upto:Rw_storage.Lsn.t -> (Rw_storage.Lsn.t -> Log_record.t -> unit) -> unit
@@ -97,6 +129,31 @@ val earliest_fpi_after :
     LSN strictly greater than [after], if any — the jump-start point for
     page undo. *)
 
+val chain_segment :
+  t ->
+  Rw_storage.Page_id.t ->
+  from:Rw_storage.Lsn.t ->
+  down_to:Rw_storage.Lsn.t ->
+  Rw_storage.Lsn.t array
+(** All retained page-chain record LSNs for the page with
+    [down_to < lsn <= from], ascending.  Because every page record's
+    [prev_page_lsn] points at the page's previous record, this equals the
+    backward pointer walk from [from] truncated at [down_to] — but is
+    served from the in-memory chain index with no I/O or decode.  Callers
+    that mutate state must validate the chain links (see
+    {!Rw_core.Page_undo}) and fall back to the walk on mismatch. *)
+
+val pages_changed_since : t -> since:Rw_storage.Lsn.t -> Rw_storage.Page_id.t list
+(** Pages whose newest retained chain record is strictly after [since]
+    (unordered) — the batch work-list for snapshot materialization. *)
+
+val prefetch : t -> Rw_storage.Lsn.t list -> unit
+(** Load the log blocks holding the given records into the block cache.
+    Blocks are visited in sorted order and each contiguous run of missing
+    blocks is priced as one random I/O plus sequential reads — this is how
+    batched chain reads turn random undo I/O into sequential I/O.  Unknown
+    or truncated LSNs are ignored. *)
+
 val truncate_before : t -> Rw_storage.Lsn.t -> unit
 (** Drop all records with LSN strictly below the argument (retention). *)
 
@@ -105,6 +162,10 @@ val total_appended_bytes : t -> int
 
 val retained_bytes : t -> int
 val record_count : t -> int
+
+val record_cache_bytes : t -> int
+(** Current decoded-record cache occupancy. *)
+
 val crash : t -> unit
 (** Simulate a crash: discard every record that was not durable. *)
 

@@ -252,6 +252,93 @@ let decode s =
 
 let encoded_size t = String.length (encode t)
 
+(* --- header peek --- *)
+
+(* The encoded layout begins with fixed-width fields:
+     0..7   txn           (i64)
+     8..15  prev_txn_lsn  (i64)
+     16     body tag      (u8)
+   and for page records:
+     17..24 page          (i64)
+     25..32 prev_page_lsn (i64)
+     33     op tag        (u8)          [Page_op]
+     33..40 undo_next     (i64)
+     41     op tag        (u8)          [Clr]
+   so all chain-walk and analysis headers are extractable without decoding
+   the (potentially page-sized) payloads. *)
+
+type op_kind =
+  | K_insert_row
+  | K_delete_row
+  | K_update_row
+  | K_set_header
+  | K_format
+  | K_preformat
+  | K_full_image
+
+type kind =
+  | K_begin
+  | K_commit
+  | K_abort
+  | K_end
+  | K_checkpoint
+  | K_page_op of op_kind
+  | K_clr of op_kind
+
+type peek = {
+  p_txn : Txn_id.t;
+  p_prev_txn_lsn : Lsn.t;
+  p_kind : kind;
+  p_page : Page_id.t;  (** [Page_id.nil] for non-page records *)
+  p_prev_page_lsn : Lsn.t;  (** [Lsn.nil] for non-page records *)
+  p_len : int;  (** encoded length, i.e. the record's LSN footprint *)
+}
+
+let op_kind_of_tag = function
+  | 0 -> K_insert_row
+  | 1 -> K_delete_row
+  | 2 -> K_update_row
+  | 3 -> K_set_header
+  | 4 -> K_format
+  | 5 -> K_preformat
+  | 6 -> K_full_image
+  | c -> invalid_arg (Printf.sprintf "Log_record.peek: bad op kind %d" c)
+
+let peek s =
+  let p_txn = Txn_id.of_int64 (Codec.peek_i64 s 0) in
+  let p_prev_txn_lsn = Lsn.of_int64 (Codec.peek_i64 s 8) in
+  let p_len = String.length s in
+  let plain kind =
+    { p_txn; p_prev_txn_lsn; p_kind = kind; p_page = Page_id.nil; p_prev_page_lsn = Lsn.nil; p_len }
+  in
+  match Codec.peek_u8 s 16 with
+  | 0 -> plain K_begin
+  | 1 -> plain K_commit
+  | 2 -> plain K_abort
+  | 3 -> plain K_end
+  | 4 -> plain K_checkpoint
+  | 5 ->
+      {
+        p_txn;
+        p_prev_txn_lsn;
+        p_kind = K_page_op (op_kind_of_tag (Codec.peek_u8 s 33));
+        p_page = Page_id.of_int64 (Codec.peek_i64 s 17);
+        p_prev_page_lsn = Lsn.of_int64 (Codec.peek_i64 s 25);
+        p_len;
+      }
+  | 6 ->
+      {
+        p_txn;
+        p_prev_txn_lsn;
+        p_kind = K_clr (op_kind_of_tag (Codec.peek_u8 s 41));
+        p_page = Page_id.of_int64 (Codec.peek_i64 s 17);
+        p_prev_page_lsn = Lsn.of_int64 (Codec.peek_i64 s 25);
+        p_len;
+      }
+  | c -> invalid_arg (Printf.sprintf "Log_record.peek: bad record kind %d" c)
+
+let is_page_kind = function K_page_op _ | K_clr _ -> true | _ -> false
+
 let op_name = function
   | Insert_row _ -> "insert_row"
   | Delete_row _ -> "delete_row"

@@ -88,3 +88,45 @@ val decode : string -> t
 val encoded_size : t -> int
 val pp : Format.formatter -> t -> unit
 val kind_name : t -> string
+
+(** {2 Header peek}
+
+    The hot read paths (chain walks, recovery analysis, redo filtering)
+    mostly need a record's {e header} — which page it touches, its backward
+    chain pointer, its kind — and not the row payloads, which dominate both
+    the encoded bytes and the decode cost.  {!peek} extracts exactly those
+    headers from the encoded string without allocating any payload. *)
+
+type op_kind =
+  | K_insert_row
+  | K_delete_row
+  | K_update_row
+  | K_set_header
+  | K_format
+  | K_preformat
+  | K_full_image
+
+type kind =
+  | K_begin
+  | K_commit
+  | K_abort
+  | K_end
+  | K_checkpoint
+  | K_page_op of op_kind
+  | K_clr of op_kind
+
+type peek = {
+  p_txn : Txn_id.t;
+  p_prev_txn_lsn : Rw_storage.Lsn.t;
+  p_kind : kind;
+  p_page : Rw_storage.Page_id.t;  (** [Page_id.nil] for non-page records *)
+  p_prev_page_lsn : Rw_storage.Lsn.t;  (** [Lsn.nil] for non-page records *)
+  p_len : int;  (** encoded length, i.e. the record's LSN footprint *)
+}
+
+val peek : string -> peek
+(** O(1) header extraction from an encoded record; never allocates row or
+    page-image payloads.  Raises [Invalid_argument] on corrupt input. *)
+
+val is_page_kind : kind -> bool
+(** Whether the kind is [K_page_op] or [K_clr]. *)

@@ -20,3 +20,45 @@ val remove : t -> int -> unit
 val size : t -> int
 val capacity : t -> int
 val clear : t -> unit
+
+(** Value-carrying LRU bounded by total weight in bytes — the decoded
+    log-record cache.  [add] evicts least-recently-used entries until the
+    budget is met again; an entry heavier than the whole budget is simply
+    not cached. *)
+module Weighted : sig
+  type 'a t
+
+  val create : capacity_bytes:int -> 'a t
+  (** Raises [Invalid_argument] if the capacity is < 1. *)
+
+  val find : 'a t -> int -> 'a option
+  (** Lookup; a hit becomes the most recently used entry. *)
+
+  val mem : 'a t -> int -> bool
+  (** Membership test; does not touch recency. *)
+
+  val add : 'a t -> int -> weight:int -> 'a -> unit
+  (** Insert or replace, then evict LRU entries until within budget. *)
+
+  type 'a node
+  (** Handle to a cache slot, for callers that keep their own pointer to
+      the entry and want hit/touch without a table lookup. *)
+
+  val add_node : 'a t -> int -> weight:int -> 'a -> 'a node
+  (** Like {!add} but returns the slot handle.  An entry too heavy to cache
+      yields a dead handle ({!alive} is false). *)
+
+  val alive : 'a node -> bool
+  (** False once the slot has been evicted or removed — the handle is
+      stale and the value must be re-fetched. *)
+
+  val node_value : 'a node -> 'a
+  val touch : 'a t -> 'a node -> unit
+  (** Make a (live) slot the most recently used; no-op on a dead one. *)
+
+  val remove : 'a t -> int -> unit
+  val size_bytes : 'a t -> int
+  val entry_count : 'a t -> int
+  val capacity_bytes : 'a t -> int
+  val clear : 'a t -> unit
+end

@@ -147,6 +147,53 @@ let test_fpi_reduces_reads () =
   check "fewer records read with fpi" true
     (r2.Page_undo.log_records_read < r1.Page_undo.log_records_read)
 
+(* The batched rewind must be indistinguishable from the pointer walk: on
+   the same history it must produce byte-identical pages, the same result
+   counters, and — reading a cold log — the same priced I/O.  The two
+   Prng-seeded histories are identical, so each implementation gets its own
+   environment and their effects are compared directly. *)
+let test_batched_matches_walk () =
+  let module Io_stats = Rw_storage.Io_stats in
+  List.iter
+    (fun (ops, fpi_frequency) ->
+      let env1, pid1, history = random_history ?fpi_frequency ~ops () in
+      let env2, pid2, _ = random_history ?fpi_frequency ~ops () in
+      let current = page_image env1 pid1 in
+      check "deterministic histories" true (current = page_image env2 pid2);
+      (* Rebuild each log into a fresh manager with a tiny block cache so
+         every rewind below starts cold and block charges are observable. *)
+      let mk_cold src =
+        let clock = Sim_clock.create () in
+        let log = Log_manager.create ~clock ~media:Media.ssd ~cache_blocks:2 () in
+        Log_manager.restore_entries log (Log_manager.dump_entries src);
+        log
+      in
+      List.iteri
+        (fun i (as_of_int, _) ->
+          if i mod 20 = 0 then begin
+            let as_of = Lsn.of_int as_of_int in
+            let cold1 = mk_cold env1.log and cold2 = mk_cold env2.log in
+            let p1 = Bytes.of_string current and p2 = Bytes.of_string current in
+            let s1 = Io_stats.copy (Log_manager.stats cold1) in
+            let s2 = Io_stats.copy (Log_manager.stats cold2) in
+            let r1 = Page_undo.prepare_page_as_of ~log:cold1 ~page:p1 ~as_of in
+            let r2 = Page_undo.prepare_page_as_of_walk ~log:cold2 ~page:p2 ~as_of in
+            check "byte-identical page" true (Bytes.equal p1 p2);
+            check_int "same ops undone" r2.Page_undo.ops_undone r1.Page_undo.ops_undone;
+            check_int "same records read" r2.Page_undo.log_records_read
+              r1.Page_undo.log_records_read;
+            check "same fpi decision" true (r1.Page_undo.used_fpi = r2.Page_undo.used_fpi);
+            let d1 = Io_stats.diff (Log_manager.stats cold1) s1 in
+            let d2 = Io_stats.diff (Log_manager.stats cold2) s2 in
+            check_int "same cold random reads" d2.Io_stats.random_reads d1.Io_stats.random_reads;
+            check_int "same cold random bytes" d2.Io_stats.random_read_bytes
+              d1.Io_stats.random_read_bytes;
+            check_int "same sequential bytes" d2.Io_stats.seq_read_bytes
+              d1.Io_stats.seq_read_bytes
+          end)
+        history)
+    [ (120, None); (120, Some 15); (40, Some 4) ]
+
 let test_chain_broken_detection () =
   let env, pid, _ = random_history ~ops:5 () in
   let page = Bytes.of_string (page_image env pid) in
@@ -624,6 +671,7 @@ let () =
           Alcotest.test_case "noop when already old" `Quick test_prepare_noop_when_old;
           Alcotest.test_case "FPIs reduce log reads" `Quick test_fpi_reduces_reads;
           Alcotest.test_case "chain corruption detected" `Quick test_chain_broken_detection;
+          Alcotest.test_case "batched rewind matches walk" `Quick test_batched_matches_walk;
         ] );
       ( "split_lsn",
         [

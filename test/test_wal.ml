@@ -61,6 +61,34 @@ let test_lru () =
   Lru.clear l;
   check_int "cleared" 0 (Lru.size l)
 
+let test_weighted_lru () =
+  let module W = Lru.Weighted in
+  let c = W.create ~capacity_bytes:100 in
+  W.add c 1 ~weight:40 "a";
+  W.add c 2 ~weight:40 "b";
+  check_int "occupancy" 80 (W.size_bytes c);
+  check "find hit" true (W.find c 1 = Some "a");
+  (* 1 is now most recent; inserting 3 overflows the budget and evicts 2. *)
+  W.add c 3 ~weight:40 "c";
+  check "2 evicted" false (W.mem c 2);
+  check "1 kept" true (W.mem c 1);
+  check "3 kept" true (W.mem c 3);
+  check "within budget" true (W.size_bytes c <= 100);
+  (* Slot handles: inserting 4 evicts 1 (the LRU entry). *)
+  let n = W.add_node c 4 ~weight:40 "d" in
+  check "1 evicted" false (W.mem c 1);
+  check "node alive" true (W.alive n);
+  check "node value" true (W.node_value n = "d");
+  W.touch c n;
+  W.remove c 4;
+  check "node dead after remove" false (W.alive n);
+  (* An entry heavier than the whole budget is not cached at all. *)
+  let big = W.add_node c 9 ~weight:1000 "huge" in
+  check "oversized handle dead" false (W.alive big);
+  check "oversized not stored" false (W.mem c 9);
+  W.clear c;
+  check_int "cleared" 0 (W.entry_count c)
+
 (* --- record serialisation --- *)
 
 let sample_ops =
@@ -106,6 +134,27 @@ let test_record_roundtrip () =
       let r = Log_record.make ~txn:(Txn_id.of_int i) ~prev_txn_lsn:(Lsn.of_int (i * 3)) body in
       let r' = Log_record.decode (Log_record.encode r) in
       if r <> r' then Alcotest.failf "roundtrip mismatch for %s" (Log_record.kind_name r))
+    sample_bodies
+
+(* The header peek must agree with a full decode on every record kind —
+   the directory indexes (FPI, chains, checkpoints) are maintained from
+   peeks alone. *)
+let test_peek_matches_decode () =
+  List.iteri
+    (fun i body ->
+      let r = Log_record.make ~txn:(Txn_id.of_int i) ~prev_txn_lsn:(Lsn.of_int (i * 5)) body in
+      let pk = Log_record.peek (Log_record.encode r) in
+      check "txn" true (pk.Log_record.p_txn = Txn_id.of_int i);
+      check "prev txn lsn" true (Lsn.equal pk.Log_record.p_prev_txn_lsn (Lsn.of_int (i * 5)));
+      match body with
+      | Log_record.Page_op { page; prev_page_lsn; _ } | Log_record.Clr { page; prev_page_lsn; _ }
+        ->
+          check "page kind" true (Log_record.is_page_kind pk.Log_record.p_kind);
+          check "page id" true (Page_id.equal pk.Log_record.p_page page);
+          check "prev page lsn" true (Lsn.equal pk.Log_record.p_prev_page_lsn prev_page_lsn)
+      | _ ->
+          check "not a page kind" false (Log_record.is_page_kind pk.Log_record.p_kind);
+          check "nil page" true (Page_id.equal pk.Log_record.p_page Page_id.nil))
     sample_bodies
 
 let record_gen =
@@ -344,9 +393,11 @@ let test_read_non_boundary () =
   let _, log = mk_log () in
   let l1 = Log_manager.append log (Log_record.make Log_record.Begin) in
   let _l2 = Log_manager.append log (Log_record.make Log_record.Begin) in
-  match Log_manager.read log (Lsn.of_int (Lsn.to_int l1 + 1)) with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected invalid_argument for a mid-record lsn"
+  let bad = Lsn.of_int (Lsn.to_int l1 + 1) in
+  match Log_manager.read log bad with
+  | exception Log_manager.No_such_record l ->
+      Alcotest.check (module Lsn) "exception carries the lsn" bad l
+  | _ -> Alcotest.fail "expected No_such_record for a mid-record lsn"
 
 let test_total_bytes_accounting () =
   let _, log = mk_log () in
@@ -358,14 +409,151 @@ let test_total_bytes_accounting () =
   check_int "total appended" (5 * sz) (Log_manager.total_appended_bytes log);
   check_int "retained" (5 * sz) (Log_manager.retained_bytes log)
 
+(* --- chain index --- *)
+
+let test_chain_segment () =
+  let _, log = mk_log () in
+  let track = Hashtbl.create 8 in
+  let appended pid lsn =
+    Hashtbl.replace track pid
+      (lsn :: (match Hashtbl.find_opt track pid with Some l -> l | None -> []))
+  in
+  for i = 0 to 29 do
+    let pid = 1 + (i mod 3) in
+    let lsn = Log_manager.append log (page_op ~pid (Log_record.Insert_row { slot = 0; row = "r" })) in
+    appended pid lsn;
+    (* Interleave records that must not appear in any chain. *)
+    if i mod 5 = 0 then ignore (Log_manager.append log (Log_record.make Log_record.Begin))
+  done;
+  let top = Log_manager.end_lsn log in
+  List.iter
+    (fun pid ->
+      let expect = List.rev (Hashtbl.find track pid) in
+      let seg = Log_manager.chain_segment log (Page_id.of_int pid) ~from:top ~down_to:Lsn.nil in
+      check "segment equals appended chain" true (Array.to_list seg = expect))
+    [ 1; 2; 3 ];
+  (* Both bounds: down_to exclusive, from inclusive. *)
+  (match List.rev (Hashtbl.find track 1) with
+  | a :: b :: c :: _ ->
+      let seg = Log_manager.chain_segment log (Page_id.of_int 1) ~from:c ~down_to:a in
+      check "bounded segment" true (Array.to_list seg = [ b; c ])
+  | _ -> Alcotest.fail "expected at least three records");
+  check "unknown page empty" true
+    (Log_manager.chain_segment log (Page_id.of_int 99) ~from:top ~down_to:Lsn.nil = [||]);
+  (* pages_changed_since: nothing after the end, everything after nil. *)
+  check_int "no page changed since top" 0 (List.length (Log_manager.pages_changed_since log ~since:top));
+  check_int "all pages changed since nil" 3
+    (List.length (Log_manager.pages_changed_since log ~since:Lsn.nil))
+
+(* Truncation and crash must leave the FPI / chain / checkpoint indexes in
+   exactly the state a from-scratch rebuild of the surviving records
+   produces. *)
+let test_indexes_agree_after_truncate_and_crash () =
+  let _, log = mk_log () in
+  let image = String.make Page.page_size 'i' in
+  let lsns = ref [] in
+  for i = 1 to 40 do
+    let pid = 1 + (i mod 4) in
+    lsns :=
+      Log_manager.append log (page_op ~pid (Log_record.Insert_row { slot = 0; row = "r" }))
+      :: !lsns;
+    if i mod 7 = 0 then
+      lsns := Log_manager.append log (page_op ~pid (Log_record.Full_image { image })) :: !lsns;
+    if i mod 11 = 0 then
+      lsns :=
+        Log_manager.append log
+          (Log_record.make
+             (Log_record.Checkpoint { wall_us = 0.0; active_txns = []; dirty_pages = [] }))
+        :: !lsns
+  done;
+  let all = List.rev !lsns in
+  Log_manager.truncate_before log (List.nth all 12);
+  Log_manager.flush_all log;
+  (* A tail of unflushed records vanishes at the crash. *)
+  for i = 0 to 5 do
+    ignore (Log_manager.append log (page_op ~pid:(1 + (i mod 4)) (Log_record.Full_image { image })))
+  done;
+  Log_manager.crash log;
+  let clock2 = Sim_clock.create () in
+  let log2 = Log_manager.create ~clock:clock2 ~media:Media.ram () in
+  Log_manager.restore_entries log2 (Log_manager.dump_entries log);
+  let top = Log_manager.end_lsn log in
+  check "same end lsn" true (Lsn.equal top (Log_manager.end_lsn log2));
+  for pid = 1 to 4 do
+    let p = Page_id.of_int pid in
+    let seg l = Array.to_list (Log_manager.chain_segment l p ~from:top ~down_to:Lsn.nil) in
+    check "chain index agrees with rebuild" true (seg log = seg log2);
+    List.iter
+      (fun after ->
+        check "fpi directory agrees with rebuild" true
+          (Log_manager.earliest_fpi_after log p ~after
+          = Log_manager.earliest_fpi_after log2 p ~after))
+      (Lsn.nil :: List.filteri (fun i _ -> i mod 9 = 0) all)
+  done;
+  check "checkpoint index agrees with rebuild" true
+    (Log_manager.checkpoints_before log top = Log_manager.checkpoints_before log2 top)
+
+(* --- decoded-record cache --- *)
+
+let test_record_cache_counters () =
+  let r = Log_record.make Log_record.Begin in
+  let sz = String.length (Log_record.encode r) in
+  let clock = Sim_clock.create () in
+  (* Budget of exactly one record: every append/decode evicts the other. *)
+  let log = Log_manager.create ~clock ~media:Media.ram ~record_cache_bytes:sz () in
+  let l1 = Log_manager.append log r in
+  let _l2 = Log_manager.append log r in
+  (* Appending l2 seeded the cache with it, evicting l1. *)
+  let s0 = Io_stats.copy (Log_manager.stats log) in
+  ignore (Log_manager.read log l1);
+  let d = Io_stats.diff (Log_manager.stats log) s0 in
+  check_int "cold decode is a record miss" 1 d.Io_stats.log_record_misses;
+  check_int "no record hit" 0 d.Io_stats.log_record_hits;
+  check_int "occupancy is one record" sz (Log_manager.record_cache_bytes log);
+  let s1 = Io_stats.copy (Log_manager.stats log) in
+  ignore (Log_manager.read log l1);
+  let d2 = Io_stats.diff (Log_manager.stats log) s1 in
+  check_int "re-read is a record hit" 1 d2.Io_stats.log_record_hits;
+  check_int "no second miss" 0 d2.Io_stats.log_record_misses
+
+(* --- prefetch --- *)
+
+let test_prefetch_sequentialises () =
+  let _, log = mk_log ~media:Media.ssd ~cache_blocks:4 () in
+  let image = String.make Page.page_size 'i' in
+  let lsns =
+    List.init 64 (fun _ -> Log_manager.append log (page_op (Log_record.Full_image { image })))
+  in
+  Log_manager.flush_all log;
+  (* The tiny cache only retains the newest blocks; prefetching the whole
+     ascending range must price the run as one seek plus sequential reads,
+     not one random read per block. *)
+  let s0 = Io_stats.copy (Log_manager.stats log) in
+  Log_manager.prefetch log lsns;
+  let d = Io_stats.diff (Log_manager.stats log) s0 in
+  check_int "one seek for the contiguous run" 1 d.Io_stats.random_reads;
+  check "rest of the run is sequential" true (d.Io_stats.seq_read_bytes > 0);
+  (* The run's tail is now cached: reading the newest record costs nothing. *)
+  let s1 = Io_stats.copy (Log_manager.stats log) in
+  ignore (Log_manager.read log (List.nth lsns 63));
+  let d2 = Io_stats.diff (Log_manager.stats log) s1 in
+  check_int "prefetched read is free" 0 d2.Io_stats.random_reads;
+  (* Unknown LSNs are ignored, not errors. *)
+  Log_manager.prefetch log [ Lsn.of_int 99999999 ]
+
 let () =
   Alcotest.run "wal"
     [
       ("codec", [ Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip ]);
-      ("lru", [ Alcotest.test_case "eviction order" `Quick test_lru ]);
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru;
+          Alcotest.test_case "weighted budget + handles" `Quick test_weighted_lru;
+        ] );
       ( "records",
         [
           Alcotest.test_case "all kinds roundtrip" `Quick test_record_roundtrip;
+          Alcotest.test_case "peek agrees with decode" `Quick test_peek_matches_decode;
           QCheck_alcotest.to_alcotest record_roundtrip_prop;
           Alcotest.test_case "invert involution" `Quick test_invert_involution;
           Alcotest.test_case "redo/undo inverse" `Quick test_redo_undo_inverse;
@@ -383,5 +571,10 @@ let () =
           Alcotest.test_case "truncation prunes indexes" `Quick test_truncate_prunes_indexes;
           Alcotest.test_case "mid-record lsn rejected" `Quick test_read_non_boundary;
           Alcotest.test_case "byte accounting" `Quick test_total_bytes_accounting;
+          Alcotest.test_case "chain segments" `Quick test_chain_segment;
+          Alcotest.test_case "indexes agree with rebuild" `Quick
+            test_indexes_agree_after_truncate_and_crash;
+          Alcotest.test_case "record cache counters" `Quick test_record_cache_counters;
+          Alcotest.test_case "prefetch sequentialises" `Quick test_prefetch_sequentialises;
         ] );
     ]

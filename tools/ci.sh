@@ -1,0 +1,38 @@
+#!/bin/sh
+# Repo check pipeline: build, tests, formatting, and a bench-harness smoke
+# run (so the benchmark harness cannot silently rot).
+#
+# Usage: tools/ci.sh        from the repository root.
+set -e
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== formatting (dune fmt) =="
+# `dune fmt` exits 0 even when it reformats files on this dune version, so
+# detect whether promotion changed anything by hashing the sources around it
+# (diffing against git would also flag legitimate uncommitted edits).
+fmt_state() {
+  find . -path ./_build -prune -o \
+    \( -name dune -o -name dune-project -o -name '*.ml' -o -name '*.mli' \) \
+    -type f -print | sort | xargs cat | cksum
+}
+before=$(fmt_state)
+dune fmt >/dev/null 2>&1 || true
+after=$(fmt_state)
+if [ "$before" != "$after" ]; then
+  echo "error: sources were not fmt-clean ('dune fmt' reformatted them; commit the result)" >&2
+  exit 1
+fi
+
+echo "== bench smoke (all --quick --json) =="
+dune exec bench/main.exe -- all --quick --json >/dev/null
+test -s BENCH_micro.json
+echo "BENCH_micro.json written:"
+head -c 400 BENCH_micro.json
+echo ""
+
+echo "== ci ok =="
