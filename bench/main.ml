@@ -23,8 +23,13 @@ module Micro = struct
   module Media = Rw_storage.Media
   module Sim_clock = Rw_storage.Sim_clock
   module Slotted_page = Rw_storage.Slotted_page
+  module Checksum = Rw_storage.Checksum
+  module Disk = Rw_storage.Disk
   module Log_manager = Rw_wal.Log_manager
   module Log_record = Rw_wal.Log_record
+  module Buffer_pool = Rw_buffer.Buffer_pool
+  module Lock_manager = Rw_txn.Lock_manager
+  module Txn_manager = Rw_txn.Txn_manager
 
   let test_slotted_insert =
     Test.make ~name:"slotted_page insert+delete"
@@ -37,9 +42,73 @@ module Micro = struct
              Slotted_page.delete p ~at:0
            done))
 
+  let crc_buf =
+    let b = Bytes.create Page.page_size in
+    for i = 0 to Page.page_size - 1 do
+      Bytes.set b i (Char.chr (i * 31 land 0xff))
+    done;
+    b
+
   let test_crc32 =
-    let page = Page.create ~id:(Page_id.of_int 0) ~typ:Page.Heap in
-    Test.make ~name:"crc32 of one 8KiB page" (Staged.stage (fun () -> Page.seal page))
+    Test.make ~name:"crc32 of one 8KiB page"
+      (Staged.stage (fun () -> ignore (Checksum.crc32 crc_buf ~pos:0 ~len:Page.page_size)))
+
+  (* The pre-overhaul one-byte-at-a-time kernel: the gap to the row above is
+     what slicing-by-8 + dual streams buy. *)
+  let test_crc32_bytewise =
+    Test.make ~name:"crc32 bytewise reference (8KiB page)"
+      (Staged.stage (fun () ->
+           ignore (Checksum.crc32_bytewise crc_buf ~pos:0 ~len:Page.page_size)))
+
+  (* Commit throughput at increasing group-commit batch sizes.  One run =
+     [batch] transactions (begin, one 64B row op, commit) and exactly one
+     priced log flush, so ns/run divided by [batch] is the per-commit cost. *)
+  let test_group_commit ~batch =
+    let clock = Sim_clock.create () in
+    let log = Log_manager.create ~clock ~media:Media.ram () in
+    let locks = Lock_manager.create () in
+    let txns = Txn_manager.create ~log ~locks in
+    if batch > 1 then
+      Txn_manager.set_group_commit txns ~max_batch_bytes:max_int ~max_delay_us:infinity;
+    Test.make ~name:(Printf.sprintf "group commit (%d txns/flush)" batch)
+      (Staged.stage (fun () ->
+           for _ = 1 to batch do
+             let txn = Txn_manager.begin_txn txns in
+             ignore
+               (Txn_manager.log_page_op txns txn ~page:(Page_id.of_int 1)
+                  ~prev_page_lsn:Lsn.nil
+                  (Log_record.Insert_row { slot = 0; row = String.make 64 'r' }));
+             ignore (Txn_manager.commit_begin txns txn ~wall_us:0.0);
+             Txn_manager.finished txns txn
+           done;
+           ignore (Txn_manager.flush_commits txns)))
+
+  (* Sorted checkpoint flush: dirty a contiguous range of pages, write them
+     back as one run (one seek, the rest sequential). *)
+  let test_checkpoint_flush =
+    let pages = 64 in
+    let clock = Sim_clock.create () in
+    let disk = Disk.create ~clock ~media:Media.ram () in
+    for i = 0 to pages - 1 do
+      let pid = Page_id.of_int i in
+      let p = Page.create ~id:pid ~typ:Page.Heap in
+      Page.seal p;
+      Disk.write_page_nocost disk pid p
+    done;
+    let log = Log_manager.create ~clock ~media:Media.ram () in
+    let pool =
+      Buffer_pool.create ~capacity:(2 * pages) ~source:(Buffer_pool.of_disk disk)
+        ~wal_flush:(fun lsn -> Log_manager.flush log ~upto:lsn)
+        ()
+    in
+    Test.make ~name:(Printf.sprintf "checkpoint flush (%d dirty pages)" pages)
+      (Staged.stage (fun () ->
+           for i = 0 to pages - 1 do
+             let f = Buffer_pool.fetch pool (Page_id.of_int i) in
+             Buffer_pool.mark_dirty pool f ~lsn:(Page.lsn (Buffer_pool.page f));
+             Buffer_pool.unpin pool f
+           done;
+           Buffer_pool.flush_all pool))
 
   let test_log_append =
     let clock = Sim_clock.create () in
@@ -118,10 +187,15 @@ module Micro = struct
       [
         test_slotted_insert;
         test_crc32;
+        test_crc32_bytewise;
         test_log_append;
         test_record_codec;
         test_prepare_page;
         test_prepare_page_walk;
+        test_group_commit ~batch:1;
+        test_group_commit ~batch:8;
+        test_group_commit ~batch:64;
+        test_checkpoint_flush;
       ]
 
   let json_escape s =

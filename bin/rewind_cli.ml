@@ -62,6 +62,27 @@ let meta_command session eng line =
            (Rw_engine.Database.name db) (Rw_engine.Database.name db)
        with e -> Printf.printf "load failed: %s\n%!" (Printexc.to_string e));
       `Continue
+  | [ "\\iostats" ] -> (
+      match Executor.current_database session with
+      | None ->
+          Printf.printf "no database selected (USE <db>)\n%!";
+          `Continue
+      | Some name -> (
+          match Engine.find_database eng name with
+          | Some db ->
+              let disk_io = Rw_storage.Disk.stats (Rw_engine.Database.disk db) in
+              let log_io = Rw_wal.Log_manager.stats (Rw_engine.Database.log db) in
+              Printf.printf "data : %s\n" (Format.asprintf "%a" Rw_storage.Io_stats.pp disk_io);
+              Printf.printf "log  : %s\n" (Format.asprintf "%a" Rw_storage.Io_stats.pp log_io);
+              Printf.printf "write: %s  (pending commits: %d)\n"
+                (Format.asprintf "%a" Rw_storage.Io_stats.pp_writes log_io)
+                (Rw_engine.Database.pending_commits db);
+              Printf.printf "cache: %s\n%!"
+                (Format.asprintf "%a" Rw_storage.Io_stats.pp_caches log_io);
+              `Continue
+          | None ->
+              Printf.printf "current database vanished\n%!";
+              `Continue))
   | [ "\\advance"; n ] -> (
       match float_of_string_opt n with
       | Some sec when sec >= 0.0 ->
@@ -79,6 +100,7 @@ let meta_command session eng line =
         \  \\advance <secs>    advance the simulated clock\n\
         \  \\save <path>       persist the current database to a file\n\
         \  \\load <path>       load a previously saved database\n\
+        \  \\iostats           I/O counters incl. log flush coalescing\n\
         \  \\q                 quit\n\
          statements: CREATE/DROP TABLE|INDEX|DATABASE, INSERT, SELECT, UPDATE, DELETE,\n\
         \  BEGIN/COMMIT/ROLLBACK, USE, SHOW TABLES|DATABASES|HISTORY, CHECKPOINT,\n\
@@ -152,12 +174,17 @@ let exec media script file =
 let demo media txns =
   let eng, session = make_engine media in
   let db = Engine.create_database eng ~checkpoint_interval_us:1_000_000.0 "tpcc" in
+  Rw_engine.Database.set_group_commit db ~max_batch_bytes:(64 * 1024) ~max_delay_us:2_000.0;
   Printf.printf "loading TPC-C-like demo database...\n%!";
   Tpcc.load db Tpcc.default_config;
   let drv = Tpcc.create db Tpcc.default_config in
   Printf.printf "running %d transactions of history...\n%!" txns;
   ignore (Tpcc.run_mix drv ~txns);
+  ignore (Rw_engine.Database.flush_commits db);
   ignore (Executor.run session "USE tpcc");
+  Printf.printf "log write path: %s\n"
+    (Format.asprintf "%a" Rw_storage.Io_stats.pp_writes
+       (Rw_wal.Log_manager.stats (Rw_engine.Database.log db)));
   Printf.printf
     "done: %.3f simulated seconds of history.  Try:\n\
     \  SELECT COUNT(*) FROM orders;\n\

@@ -3,7 +3,12 @@ module Page_id = Rw_storage.Page_id
 module Lsn = Rw_storage.Lsn
 module Disk = Rw_storage.Disk
 
-type source = { read : Page_id.t -> Page.t; write : Page_id.t -> Page.t -> unit }
+type source = {
+  read : Page_id.t -> Page.t;
+  write : Page_id.t -> Page.t -> unit;
+  write_seq : (Page_id.t -> Page.t -> unit) option;
+      (* sequential continuation of a write run: no seek, transfer only *)
+}
 
 type frame = {
   id : Page_id.t;
@@ -37,6 +42,11 @@ let of_disk disk =
       (fun pid p ->
         Page.seal p;
         Disk.write_page disk pid p);
+    write_seq =
+      Some
+        (fun pid p ->
+          Page.seal p;
+          Disk.write_page_seq disk pid p);
   }
 
 let create ~capacity ~source ?(wal_flush = fun _ -> ()) () =
@@ -141,8 +151,31 @@ let flush_page t pid =
   | None -> ()
 
 let flush_all t =
-  let dirty = dirty_page_table t in
-  List.iter (fun (pid, _) -> flush_page t pid) dirty
+  let dirty =
+    Hashtbl.fold (fun _ f acc -> if f.dirty then f :: acc else acc) t.frames []
+    |> List.sort (fun a b -> Page_id.compare a.id b.id)
+  in
+  match dirty with
+  | [] -> ()
+  | _ ->
+      (* One WAL barrier for the whole batch instead of one per page. *)
+      let max_lsn = List.fold_left (fun acc f -> Lsn.max acc (Page.lsn f.page)) Lsn.nil dirty in
+      t.wal_flush max_lsn;
+      (* Page-id order: the head of each contiguous run pays the seek, the
+         rest of the run streams sequentially — the write-side mirror of the
+         read path's prefetch pricing. *)
+      let rec go prev = function
+        | [] -> ()
+        | f :: rest ->
+            let pid = Page_id.to_int f.id in
+            (match t.source.write_seq with
+            | Some wseq when prev >= 0 && pid = prev + 1 -> wseq f.id f.page
+            | _ -> t.source.write f.id f.page);
+            f.dirty <- false;
+            f.rec_lsn <- Lsn.nil;
+            go pid rest
+      in
+      go (-1) dirty
 
 let drop_all t =
   Hashtbl.iter

@@ -13,6 +13,10 @@
 type source = {
   read : Rw_storage.Page_id.t -> Rw_storage.Page.t;
   write : Rw_storage.Page_id.t -> Rw_storage.Page.t -> unit;
+  write_seq : (Rw_storage.Page_id.t -> Rw_storage.Page.t -> unit) option;
+      (** Sequential continuation of a write run ({!flush_all} uses it for
+          every page of a contiguous run after the first): priced as pure
+          transfer, no seek.  [None] falls back to {!field-write}. *)
 }
 
 type t
@@ -58,6 +62,10 @@ val flush_page : t -> Rw_storage.Page_id.t -> unit
     resident. *)
 
 val flush_all : t -> unit
+(** Write back every dirty page in page-id order: one WAL barrier for the
+    whole batch, then contiguous page-id runs priced as one seek plus
+    sequential transfers (see {!field-write_seq}). *)
+
 val drop_all : t -> unit
 (** Discard every frame without writing — crash simulation.  Raises if any
     frame is pinned. *)

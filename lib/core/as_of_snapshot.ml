@@ -113,6 +113,7 @@ let create ~name ~wall_us ~log ~primary_pool ~primary_disk ~txns ~clock ~media
     {
       Buffer_pool.read = (fun pid -> read_as_of ~sparse ~primary_disk ~log ~split:split_lsn pid);
       Buffer_pool.write = (fun pid page -> Sparse_file.write sparse pid page);
+      Buffer_pool.write_seq = None;
     }
   in
   let pool = Buffer_pool.create ~capacity:pool_capacity ~source () in

@@ -58,6 +58,7 @@ let create ~name ~ctx ~primary_pool ~primary_disk ~txns ~log ~clock ~media
           | Some page -> page
           | None -> Disk.read_page primary_disk pid);
       Buffer_pool.write = (fun pid page -> Sparse_file.write sparse pid page);
+      Buffer_pool.write_seq = None;
     }
   in
   let pool = Buffer_pool.create ~capacity:pool_capacity ~source () in

@@ -137,7 +137,11 @@ let undo_transaction ~ctx ~log ~victim ~wall_us =
             incr applied
         | None -> ())
       ops;
-    Txn_manager.commit txns txn ~wall_us;
+    (* Batched commit API: the compensation commit joins any pending batch
+       and the explicit flush makes the whole batch durable before the
+       rewind is reported done. *)
+    ignore (Txn_manager.commit_begin txns txn ~wall_us);
+    ignore (Txn_manager.flush_commits txns);
     Txn_manager.finished txns txn;
     Undone { ops = !applied }
   end

@@ -94,6 +94,13 @@ let restore_as_of t ~from ~wall_us =
         (fun pid page ->
           Page.seal page;
           Disk.write_page_seq disk pid page);
+      (* Restore writes are already sequential; run continuations are the
+         same stream. *)
+      Buffer_pool.write_seq =
+        Some
+          (fun pid page ->
+            Page.seal page;
+            Disk.write_page_seq disk pid page);
     }
   in
   let pool =

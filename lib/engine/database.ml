@@ -64,16 +64,19 @@ let guard_writable t =
 
 let assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequency
     ~checkpoint_interval_us ~read_only ~snapshot ~pool_opt () =
+  let locks = Lock_manager.create () in
+  let txns = Txn_manager.create ~log ~locks in
   let pool =
     match pool_opt with
     | Some pool -> pool
     | None ->
+        (* WAL-rule flushes route through the txn manager so a page
+           write-back that forces the log also acknowledges any commits the
+           flush happened to cover. *)
         Buffer_pool.create ~capacity:pool_capacity ~source:(Buffer_pool.of_disk disk)
-          ~wal_flush:(fun lsn -> Log_manager.flush log ~upto:lsn)
+          ~wal_flush:(fun lsn -> Txn_manager.flush_log txns ~upto:lsn)
           ()
   in
-  let locks = Lock_manager.create () in
-  let txns = Txn_manager.create ~log ~locks in
   let ctx = Access_ctx.create ~pool ~txns ~log ~clock ~fpi_frequency () in
   {
     name;
@@ -142,9 +145,19 @@ let maybe_auto_checkpoint t =
   if now_us t -. t.last_checkpoint_wall >= t.checkpoint_interval_us then ignore (checkpoint t)
 
 let commit t txn =
-  Txn_manager.commit t.txns txn ~wall_us:(now_us t);
+  ignore (Txn_manager.commit_begin t.txns txn ~wall_us:(now_us t));
+  (* The flush scheduler decides whether this commit rides an accumulating
+     batch or forces one now; the default (immediate) policy flushes every
+     time, i.e. a durable batch of one. *)
+  ignore (Txn_manager.maybe_flush t.txns);
   Txn_manager.finished t.txns txn;
   maybe_auto_checkpoint t
+
+let set_group_commit t ~max_batch_bytes ~max_delay_us =
+  Txn_manager.set_group_commit t.txns ~max_batch_bytes ~max_delay_us
+
+let flush_commits t = Txn_manager.flush_commits t.txns
+let pending_commits t = Txn_manager.pending_commits t.txns
 
 let rollback t txn =
   Txn_manager.rollback t.txns txn ~write_page:(Access_ctx.page_writer t.ctx);

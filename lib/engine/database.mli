@@ -50,9 +50,28 @@ val set_fpi_frequency : t -> int -> unit
 (* Transactions *)
 val begin_txn : t -> txn
 val commit : t -> txn -> unit
+(** Commit through the group-commit scheduler.  Under the default
+    (immediate) policy the commit record is forced durable before this
+    returns; with {!set_group_commit} the transaction may be left awaiting
+    acknowledgement in the current flush batch (its effects stay visible to
+    subsequent reads, but only a crash can reveal the difference). *)
+
 val rollback : t -> txn -> unit
 val with_txn : t -> (txn -> 'a) -> 'a
 (** Begin, run, commit; roll back and re-raise on exception. *)
+
+val set_group_commit : t -> max_batch_bytes:int -> max_delay_us:float -> unit
+(** Enable commit coalescing: flush once the unflushed log tail reaches
+    [max_batch_bytes] or the oldest pending commit has waited
+    [max_delay_us] of simulated time.  Both zero restores per-commit
+    flushing. *)
+
+val flush_commits : t -> int
+(** Force the pending commit batch durable now; returns the number of
+    commits acknowledged. *)
+
+val pending_commits : t -> int
+(** Commits awaiting durability acknowledgement. *)
 
 (* DDL *)
 val create_table :

@@ -21,6 +21,9 @@ let checkpoint ~log ~pool ~txns ~wall_us ?(flush_pages = false) () =
   in
   let lsn = Log_manager.append log record in
   Log_manager.flush log ~upto:lsn;
+  (* The checkpoint's flush covers every pending commit record, so deliver
+     the durability acknowledgements it earned. *)
+  ignore (Txn_manager.ack_flushed txns);
   Log_manager.set_last_checkpoint log lsn;
   lsn
 

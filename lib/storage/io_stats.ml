@@ -12,6 +12,13 @@ type t = {
   mutable log_block_misses : int;
   mutable log_record_hits : int;
   mutable log_record_misses : int;
+  (* Write-path coalescing (see DESIGN.md "Write path").  Flush calls count
+     every durability request; batches count the priced device writes that
+     actually served them, and coalesced commits count the durability
+     acknowledgements those batches delivered. *)
+  mutable log_flush_calls : int;
+  mutable log_flush_batches : int;
+  mutable log_commits_coalesced : int;
 }
 
 let create () =
@@ -26,6 +33,9 @@ let create () =
     log_block_misses = 0;
     log_record_hits = 0;
     log_record_misses = 0;
+    log_flush_calls = 0;
+    log_flush_batches = 0;
+    log_commits_coalesced = 0;
   }
 
 let reset t =
@@ -38,7 +48,10 @@ let reset t =
   t.log_block_hits <- 0;
   t.log_block_misses <- 0;
   t.log_record_hits <- 0;
-  t.log_record_misses <- 0
+  t.log_record_misses <- 0;
+  t.log_flush_calls <- 0;
+  t.log_flush_batches <- 0;
+  t.log_commits_coalesced <- 0
 
 let copy t = { t with random_reads = t.random_reads }
 
@@ -54,6 +67,9 @@ let diff later earlier =
     log_block_misses = later.log_block_misses - earlier.log_block_misses;
     log_record_hits = later.log_record_hits - earlier.log_record_hits;
     log_record_misses = later.log_record_misses - earlier.log_record_misses;
+    log_flush_calls = later.log_flush_calls - earlier.log_flush_calls;
+    log_flush_batches = later.log_flush_batches - earlier.log_flush_batches;
+    log_commits_coalesced = later.log_commits_coalesced - earlier.log_commits_coalesced;
   }
 
 let total_ios t = t.random_reads + t.random_writes
@@ -71,7 +87,10 @@ let add acc x =
   acc.log_block_hits <- acc.log_block_hits + x.log_block_hits;
   acc.log_block_misses <- acc.log_block_misses + x.log_block_misses;
   acc.log_record_hits <- acc.log_record_hits + x.log_record_hits;
-  acc.log_record_misses <- acc.log_record_misses + x.log_record_misses
+  acc.log_record_misses <- acc.log_record_misses + x.log_record_misses;
+  acc.log_flush_calls <- acc.log_flush_calls + x.log_flush_calls;
+  acc.log_flush_batches <- acc.log_flush_batches + x.log_flush_batches;
+  acc.log_commits_coalesced <- acc.log_commits_coalesced + x.log_commits_coalesced
 
 let pp fmt t =
   Format.fprintf fmt "rreads:%d rwrites:%d seqR:%dB seqW:%dB" t.random_reads t.random_writes
@@ -82,3 +101,11 @@ let pp_caches fmt t =
     (t.log_block_hits + t.log_block_misses)
     t.log_record_hits
     (t.log_record_hits + t.log_record_misses)
+
+let pp_writes fmt t =
+  let per_batch =
+    if t.log_flush_batches = 0 then 0.0
+    else float_of_int t.log_commits_coalesced /. float_of_int t.log_flush_batches
+  in
+  Format.fprintf fmt "flushes:%d/%d commits-coalesced:%d (%.1f/batch)" t.log_flush_batches
+    t.log_flush_calls t.log_commits_coalesced per_batch

@@ -18,6 +18,15 @@ type t = {
       (** decoded-record cache: decode skipped (pure CPU saving, no effect
           on simulated I/O accounting) *)
   mutable log_record_misses : int;  (** decoded-record cache: full decode *)
+  mutable log_flush_calls : int;
+      (** log durability requests ([Log_manager.flush] calls, including
+          no-ops already covered by a previous batch) *)
+  mutable log_flush_batches : int;
+      (** priced log writes: one seek + one sequential transfer each *)
+  mutable log_commits_coalesced : int;
+      (** commit durability acknowledgements delivered by flush batches;
+          divided by [log_flush_batches] this is the group-commit
+          coalescing factor *)
 }
 
 val create : unit -> t
@@ -36,3 +45,6 @@ val pp : Format.formatter -> t -> unit
 
 val pp_caches : Format.formatter -> t -> unit
 (** Hit/total summary of the log read-path cache layers. *)
+
+val pp_writes : Format.formatter -> t -> unit
+(** Batches/requests/coalescing summary of the log write path. *)

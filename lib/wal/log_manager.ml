@@ -210,10 +210,16 @@ let append t record =
   e.cached <- Some (Lru.Weighted.add_node t.record_cache (Lsn.to_int lsn) ~weight:len record);
   lsn
 
+let unflushed_bytes t = t.unflushed_bytes
+
 let flush t ~upto =
+  t.io.Io_stats.log_flush_calls <- t.io.Io_stats.log_flush_calls + 1;
   if Lsn.(t.flushed_lsn <= upto) && Lsn.(t.flushed_lsn < t.end_lsn) then begin
     (* Group commit: one sync plus the sequential transfer of everything
-       buffered. *)
+       buffered.  Requests already covered by an earlier batch fall through
+       without touching the device — the calls/batches counter gap is the
+       coalescing the write path achieves. *)
+    t.io.Io_stats.log_flush_batches <- t.io.Io_stats.log_flush_batches + 1;
     Media.random_write t.media t.clock t.io 0;
     Media.seq_write t.media t.clock t.io t.unflushed_bytes;
     t.unflushed_bytes <- 0;

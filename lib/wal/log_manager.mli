@@ -52,6 +52,10 @@ val flush_all : t -> unit
 val flushed_lsn : t -> Rw_storage.Lsn.t
 (** LSNs strictly below this are durable. *)
 
+val unflushed_bytes : t -> int
+(** Bytes appended but not yet flushed — the size of the next flush batch.
+    The group-commit scheduler uses this for its max-batch-bytes trigger. *)
+
 val end_lsn : t -> Rw_storage.Lsn.t
 (** The LSN the next appended record will receive. *)
 

@@ -198,6 +198,53 @@ let test_crc32_incremental () =
   let rest = Checksum.crc32 ~init:first b ~pos:9 ~len:(Bytes.length b - 9) in
   Alcotest.(check int32) "incremental equals whole" whole rest
 
+let test_crc32_kernels_agree () =
+  (* The slicing-by-8 dual-stream kernel must agree with the bytewise
+     reference at every alignment and length class: empty, sub-word tails,
+     the single/dual-stream threshold, and full pages. *)
+  let n = 9000 in
+  let b = Bytes.init n (fun i -> Char.chr (((i * 131) + (i lsr 3)) land 0xff)) in
+  List.iter
+    (fun (pos, len) ->
+      Alcotest.(check int32)
+        (Printf.sprintf "pos=%d len=%d" pos len)
+        (Checksum.crc32_bytewise b ~pos ~len)
+        (Checksum.crc32 b ~pos ~len))
+    [
+      (0, 0);
+      (0, 1);
+      (3, 7);
+      (0, 8);
+      (5, 9);
+      (0, 127);
+      (1, 128);
+      (0, 129);
+      (17, 1000);
+      (0, 8192);
+      (808, 8192);
+    ]
+
+let test_crc32_combine () =
+  (* crc(a ++ b) = combine(crc a, crc b, |b|), for every cut point class
+     including empty halves. *)
+  let n = 4096 in
+  let b = Bytes.init n (fun i -> Char.chr (((i * 37) + 11) land 0xff)) in
+  let whole = Checksum.crc32 b ~pos:0 ~len:n in
+  List.iter
+    (fun cut ->
+      let a = Checksum.crc32 b ~pos:0 ~len:cut in
+      let c = Checksum.crc32 b ~pos:cut ~len:(n - cut) in
+      Alcotest.(check int32)
+        (Printf.sprintf "cut=%d" cut)
+        whole
+        (Checksum.crc32_combine a c ~len2:(n - cut)))
+    [ 0; 1; 13; 512; 2048; 4095; 4096 ];
+  (* Chained init-style incremental and combine must agree too. *)
+  let first = Checksum.crc32 b ~pos:0 ~len:1000 in
+  let via_init = Checksum.crc32 ~init:first b ~pos:1000 ~len:(n - 1000) in
+  Alcotest.(check int32) "combine equals init-chaining" via_init
+    (Checksum.crc32_combine first (Checksum.crc32 b ~pos:1000 ~len:(n - 1000)) ~len2:(n - 1000))
+
 (* --- media & clock --- *)
 
 let test_media_costs () =
@@ -332,6 +379,8 @@ let () =
         [
           Alcotest.test_case "known vectors" `Quick test_crc32_known;
           Alcotest.test_case "incremental" `Quick test_crc32_incremental;
+          Alcotest.test_case "kernels agree" `Quick test_crc32_kernels_agree;
+          Alcotest.test_case "combine" `Quick test_crc32_combine;
         ] );
       ( "media",
         [

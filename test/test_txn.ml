@@ -174,6 +174,95 @@ let test_double_commit_rejected () =
   Alcotest.check_raises "double commit" (Invalid_argument "Txn_manager.commit: txn not active")
     (fun () -> Txn_manager.commit env.txns t ~wall_us:0.0)
 
+(* --- group commit --- *)
+
+let test_group_commit_batches () =
+  let env = mk_env () in
+  Txn_manager.set_group_commit env.txns ~max_batch_bytes:max_int ~max_delay_us:infinity;
+  let row_resource = Lock_manager.Row (1, 1L) in
+  let mk i =
+    let txn = Txn_manager.begin_txn env.txns in
+    Txn_manager.lock env.txns txn (Lock_manager.Row (1, Int64.of_int i)) Lock_manager.X;
+    Access_ctx.modify env.ctx txn (Page_id.of_int i)
+      (Log_record.Format { typ = Page.Heap; level = 0 });
+    txn
+  in
+  let txns =
+    List.init 3 mk
+    |> List.map (fun txn -> (txn, Txn_manager.commit_begin env.txns txn ~wall_us:0.0))
+  in
+  (* In flight: commit records appended but not yet durable, no ack. *)
+  check_int "three pending" 3 (Txn_manager.pending_commits env.txns);
+  List.iter
+    (fun (txn, _) -> check "committing" true (Txn_manager.state txn = Txn_manager.Committing))
+    txns;
+  check "commit record appended but not flushed" true
+    Lsn.(Log_manager.flushed_lsn env.log <= snd (List.hd txns));
+  (* Early lock release: a fresh txn can take X on a resource a committing
+     txn wrote under, before the group flush happens. *)
+  let probe = Txn_manager.begin_txn env.txns in
+  Txn_manager.lock env.txns probe row_resource Lock_manager.X;
+  Txn_manager.rollback env.txns probe ~write_page:(Access_ctx.page_writer env.ctx);
+  (* One flush makes the whole batch durable and acks every waiter. *)
+  let before = (Log_manager.stats env.log).Rw_storage.Io_stats.log_flush_batches in
+  check_int "one flush acks all" 3 (Txn_manager.flush_commits env.txns);
+  check_int "single priced batch" 1
+    ((Log_manager.stats env.log).Rw_storage.Io_stats.log_flush_batches - before);
+  check_int "coalesced counter" 3
+    (Log_manager.stats env.log).Rw_storage.Io_stats.log_commits_coalesced;
+  check_int "none pending" 0 (Txn_manager.pending_commits env.txns);
+  List.iter
+    (fun (txn, commit_lsn) ->
+      check "committed" true (Txn_manager.state txn = Txn_manager.Committed);
+      check "durable" true Lsn.(Log_manager.flushed_lsn env.log > commit_lsn);
+      (* The chain tail past the commit record is the End record. *)
+      match (Log_manager.read_nocost env.log (Txn_manager.last_lsn txn)).Log_record.body with
+      | Log_record.End -> ()
+      | _ -> Alcotest.fail "chain tail is not an End record")
+    txns
+
+(* A log flush that fails (the simulated media rejects the write) must not
+   leave the transaction Active with a dangling commit record: the state
+   transition to Committing happens before the append, so the failed txn can
+   neither be committed again nor rolled back as if the commit never
+   happened. *)
+let test_commit_failure_leaves_committing () =
+  let clock = Sim_clock.create () in
+  let failing =
+    {
+      Media.name = "failing-log";
+      seq_read_mb_s = infinity;
+      seq_write_mb_s = -1.0;
+      rand_read_lat_us = 0.0;
+      rand_write_lat_us = 0.0;
+    }
+  in
+  let log = Log_manager.create ~clock ~media:failing () in
+  let locks = Lock_manager.create () in
+  let txns = Txn_manager.create ~log ~locks in
+  let txn = Txn_manager.begin_txn txns in
+  ignore
+    (Txn_manager.log_page_op txns txn ~page:(Page_id.of_int 0) ~prev_page_lsn:Lsn.nil
+       (Log_record.Format { typ = Page.Heap; level = 0 }));
+  (match Txn_manager.commit txns txn ~wall_us:0.0 with
+  | () -> Alcotest.fail "commit on failing media should raise"
+  | exception Invalid_argument _ -> ());
+  check "stuck in Committing, not Active" true (Txn_manager.state txn = Txn_manager.Committing);
+  (* The commit record is on the chain: the outcome is decided (recovery
+     would commit it if it became durable, lose it otherwise) — so both
+     re-commit and rollback are refused. *)
+  (match (Log_manager.read_nocost log (Txn_manager.last_lsn txn)).Log_record.body with
+  | Log_record.Commit _ -> ()
+  | _ -> Alcotest.fail "chain tail is not the commit record");
+  Alcotest.check_raises "re-commit refused"
+    (Invalid_argument "Txn_manager.commit: txn not active") (fun () ->
+      Txn_manager.commit txns txn ~wall_us:0.0);
+  Alcotest.check_raises "rollback refused"
+    (Invalid_argument "Txn_manager.rollback: txn not active") (fun () ->
+      Txn_manager.rollback txns txn ~write_page:(fun _ _ -> ()));
+  (* The txn table may still drop it without touching its state. *)
+  Txn_manager.finished txns txn
+
 let test_fpi_emission () =
   let env = mk_env ~fpi_frequency:3 () in
   let t = Txn_manager.begin_txn env.txns in
@@ -210,6 +299,9 @@ let () =
           Alcotest.test_case "rollback releases locks" `Quick test_rollback_releases_locks;
           Alcotest.test_case "active listing" `Quick test_active_txns_listing;
           Alcotest.test_case "double commit rejected" `Quick test_double_commit_rejected;
+          Alcotest.test_case "group commit batches and acks" `Quick test_group_commit_batches;
+          Alcotest.test_case "failed commit flush leaves Committing" `Quick
+            test_commit_failure_leaves_committing;
           Alcotest.test_case "FPI every Nth modification" `Quick test_fpi_emission;
         ] );
     ]

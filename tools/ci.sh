@@ -29,10 +29,41 @@ if [ "$before" != "$after" ]; then
 fi
 
 echo "== bench smoke (all --quick --json) =="
+# The bench run overwrites BENCH_micro.json, so snapshot the checked-in
+# baseline values of the guarded benchmarks first.
+bench_value() {
+  grep -F "\"$1\"" BENCH_micro.json | sed 's/.*: *//; s/,$//'
+}
+base_prepare=$(bench_value "core-primitives/prepare_page_as_of (400-op rewind)" || true)
+base_commit=$(bench_value "core-primitives/group commit (8 txns/flush)" || true)
+
 dune exec bench/main.exe -- all --quick --json >/dev/null
 test -s BENCH_micro.json
 echo "BENCH_micro.json written:"
 head -c 400 BENCH_micro.json
 echo ""
+
+echo "== bench regression guard (>25% vs checked-in baseline fails) =="
+# Guards the two headline numbers of the read- and write-path overhauls.
+check_regression() {
+  key=$1
+  base=$2
+  cur=$(bench_value "$key" || true)
+  if [ -z "$base" ] || [ "$base" = "null" ]; then
+    echo "warning: no baseline for \"$key\"; skipping guard" >&2
+    return 0
+  fi
+  if [ -z "$cur" ] || [ "$cur" = "null" ]; then
+    echo "error: bench run produced no value for \"$key\"" >&2
+    return 1
+  fi
+  awk -v base="$base" -v cur="$cur" -v key="$key" 'BEGIN {
+    limit = base * 1.25
+    printf "%-45s %12.2f ns (baseline %.2f, limit %.2f)\n", key, cur, base, limit
+    if (cur > limit) { printf "error: \"%s\" regressed >25%%\n", key; exit 1 }
+  }'
+}
+check_regression "core-primitives/prepare_page_as_of (400-op rewind)" "$base_prepare"
+check_regression "core-primitives/group commit (8 txns/flush)" "$base_commit"
 
 echo "== ci ok =="
