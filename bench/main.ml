@@ -182,6 +182,15 @@ module Micro = struct
            let copy = Page.copy page in
            ignore (Rw_core.Page_undo.prepare_page_as_of_walk ~log ~page:copy ~as_of:(Lsn.of_int 1))))
 
+  (* Rebuilding the same page purely from its log chain — the medium-
+     recovery path taken when a fetch fails its checksum.  Replays the
+     whole history forward from the Format base record. *)
+  let test_page_repair =
+    let log, _page = prepare_env () in
+    Test.make ~name:"page_repair rebuild (400-op chain)"
+      (Staged.stage (fun () ->
+           ignore (Rw_recovery.Page_repair.rebuild ~log (Page_id.of_int 0))))
+
   let tests =
     Test.make_grouped ~name:"core-primitives"
       [
@@ -192,6 +201,7 @@ module Micro = struct
         test_record_codec;
         test_prepare_page;
         test_prepare_page_walk;
+        test_page_repair;
         test_group_commit ~batch:1;
         test_group_commit ~batch:8;
         test_group_commit ~batch:64;

@@ -77,8 +77,41 @@ let meta_command session eng line =
               Printf.printf "write: %s  (pending commits: %d)\n"
                 (Format.asprintf "%a" Rw_storage.Io_stats.pp_writes log_io)
                 (Rw_engine.Database.pending_commits db);
-              Printf.printf "cache: %s\n%!"
+              Printf.printf "cache: %s\n"
                 (Format.asprintf "%a" Rw_storage.Io_stats.pp_caches log_io);
+              Printf.printf "fault: data %s | log %s\n%!"
+                (Format.asprintf "%a" Rw_storage.Io_stats.pp_faults disk_io)
+                (Format.asprintf "%a" Rw_storage.Io_stats.pp_faults log_io);
+              `Continue
+          | None ->
+              Printf.printf "current database vanished\n%!";
+              `Continue))
+  | [ "\\faults" ] -> (
+      match Executor.current_database session with
+      | None ->
+          Printf.printf "no database selected (USE <db>)\n%!";
+          `Continue
+      | Some name -> (
+          match Engine.find_database eng name with
+          | Some db ->
+              let disk_io = Rw_storage.Disk.stats (Rw_engine.Database.disk db) in
+              let log_io = Rw_wal.Log_manager.stats (Rw_engine.Database.log db) in
+              Printf.printf "data : %s\n"
+                (Format.asprintf "%a" Rw_storage.Io_stats.pp_faults disk_io);
+              Printf.printf "log  : %s\n"
+                (Format.asprintf "%a" Rw_storage.Io_stats.pp_faults log_io);
+              (match Rw_engine.Database.fault_plan db with
+              | Some plan -> Printf.printf "plan : seed %d\n" (Rw_storage.Fault_plan.seed plan)
+              | None -> Printf.printf "plan : none (no fault injection)\n");
+              (match Rw_engine.Database.quarantined_pages db with
+              | [] -> Printf.printf "quarantine: empty\n%!"
+              | pages ->
+                  Printf.printf "quarantine: %d page(s)\n" (List.length pages);
+                  List.iter
+                    (fun (pid, reason) ->
+                      Printf.printf "  page %d: %s\n" (Rw_storage.Page_id.to_int pid) reason)
+                    pages;
+                  Printf.printf "%!");
               `Continue
           | None ->
               Printf.printf "current database vanished\n%!";
@@ -101,6 +134,7 @@ let meta_command session eng line =
         \  \\save <path>       persist the current database to a file\n\
         \  \\load <path>       load a previously saved database\n\
         \  \\iostats           I/O counters incl. log flush coalescing\n\
+        \  \\faults            fault-injection counters and quarantined pages\n\
         \  \\q                 quit\n\
          statements: CREATE/DROP TABLE|INDEX|DATABASE, INSERT, SELECT, UPDATE, DELETE,\n\
         \  BEGIN/COMMIT/ROLLBACK, USE, SHOW TABLES|DATABASES|HISTORY, CHECKPOINT,\n\
@@ -193,6 +227,15 @@ let demo media txns =
     (Engine.now_s eng);
   repl_loop eng session
 
+let faultsoak seeds crash_points quick =
+  Printf.printf "fault-injection soak: seeds %s, %d crash points each%s\n%!"
+    (String.concat "," (List.map string_of_int seeds))
+    crash_points
+    (if quick then " (quick)" else "");
+  let rows = Rw_workload.Experiments.crash_repair_campaign ~seeds ~crash_points ~quick () in
+  Rw_workload.Experiments.print_fault_rows rows;
+  if not (List.for_all Rw_workload.Experiments.fault_row_ok rows) then exit 1
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -223,10 +266,30 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Shell against a pre-loaded TPC-C-like database")
     Term.(const demo $ media_term $ txns)
 
+let faultsoak_cmd =
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) [ 11; 23; 47 ]
+      & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Comma-separated fault-plan seeds.")
+  in
+  let points =
+    Arg.(
+      value & opt int 4
+      & info [ "crash-points" ] ~docv:"N" ~doc:"Random crash points per seed.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Shrink the workload for smoke runs.") in
+  Cmd.v
+    (Cmd.info "faultsoak"
+       ~doc:
+         "Crash/corruption soak: run TPC-C under fault injection, crash at random points, \
+          recover, repair, and verify against a fault-free oracle (exit 1 on any violation)")
+    Term.(const faultsoak $ seeds $ points $ quick)
+
 let main =
   Cmd.group ~default:Term.(const repl $ media_term)
     (Cmd.info "rewind_cli" ~version:"1.0.0"
        ~doc:"Transaction-log based point-in-time query engine (VLDB'12 reproduction)")
-    [ repl_cmd; exec_cmd; demo_cmd ]
+    [ repl_cmd; exec_cmd; demo_cmd; faultsoak_cmd ]
 
 let () = exit (Cmd.eval main)

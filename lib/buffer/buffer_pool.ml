@@ -34,19 +34,23 @@ let of_disk disk =
   {
     read =
       (fun pid ->
-        let p = Disk.read_page disk pid in
-        if not (Page.verify p) then
-          failwith (Printf.sprintf "checksum failure on page %d" (Page_id.to_int pid));
+        let p = Disk.read_page_retrying disk pid in
+        if not (Page.verify p) then begin
+          let st = Disk.stats disk in
+          st.Rw_storage.Io_stats.corruptions_detected <-
+            st.Rw_storage.Io_stats.corruptions_detected + 1;
+          raise (Disk.Corrupt_page pid)
+        end;
         p);
     write =
       (fun pid p ->
         Page.seal p;
-        Disk.write_page disk pid p);
+        Disk.write_page_retrying disk pid p);
     write_seq =
       Some
         (fun pid p ->
           Page.seal p;
-          Disk.write_page_seq disk pid p);
+          Disk.write_page_seq_retrying disk pid p);
   }
 
 let create ~capacity ~source ?(wal_flush = fun _ -> ()) () =

@@ -25,7 +25,10 @@ type frame
 
 val of_disk : Rw_storage.Disk.t -> source
 (** The standard source: random page reads/writes on a disk, sealing pages
-    on write and verifying checksums on read. *)
+    on write and verifying checksums on read.  Transient device errors are
+    absorbed by bounded retry; a page failing verification raises
+    [Rw_storage.Disk.Corrupt_page].  For a source that additionally
+    {e repairs} corrupt pages from the log, see [Rw_recovery.Page_repair]. *)
 
 val create :
   capacity:int -> source:source -> ?wal_flush:(Rw_storage.Lsn.t -> unit) -> unit -> t

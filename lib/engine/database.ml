@@ -15,6 +15,8 @@ module Boot = Rw_access.Boot
 module Schema = Rw_catalog.Schema
 module System_tables = Rw_catalog.System_tables
 module Recovery = Rw_recovery.Recovery
+module Page_repair = Rw_recovery.Page_repair
+module Fault_plan = Rw_storage.Fault_plan
 module As_of_snapshot = Rw_core.As_of_snapshot
 module Retention = Rw_core.Retention
 
@@ -42,6 +44,7 @@ type t = {
   mutable last_checkpoint_wall : float;
   mutable recovery_stats : Recovery.stats option;
   pool_capacity : int;
+  quarantine : Page_repair.Quarantine.t;
 }
 
 let name t = t.name
@@ -58,6 +61,8 @@ let split_lsn t = Option.map As_of_snapshot.split_lsn t.snapshot
 let snapshot_handle t = t.snapshot
 let set_fpi_frequency t n = Access_ctx.set_fpi_frequency t.ctx n
 let last_recovery_stats t = t.recovery_stats
+let quarantined_pages t = Page_repair.Quarantine.list t.quarantine
+let fault_plan t = Disk.fault_plan t.disk
 
 let guard_writable t =
   if t.read_only then raise (Read_only t.name)
@@ -66,6 +71,7 @@ let assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequ
     ~checkpoint_interval_us ~read_only ~snapshot ~pool_opt () =
   let locks = Lock_manager.create () in
   let txns = Txn_manager.create ~log ~locks in
+  let quarantine = Page_repair.Quarantine.create () in
   let pool =
     match pool_opt with
     | Some pool -> pool
@@ -73,9 +79,13 @@ let assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequ
         (* WAL-rule flushes route through the txn manager so a page
            write-back that forces the log also acknowledges any commits the
            flush happened to cover. *)
-        Buffer_pool.create ~capacity:pool_capacity ~source:(Buffer_pool.of_disk disk)
-          ~wal_flush:(fun lsn -> Txn_manager.flush_log txns ~upto:lsn)
-          ()
+        let wal_flush lsn = Txn_manager.flush_log txns ~upto:lsn in
+        (* The primary reads through the self-healing source: a checksum
+           failure triggers a rebuild from the page's log chain instead of
+           failing the query; unrepairable pages are quarantined. *)
+        Buffer_pool.create ~capacity:pool_capacity
+          ~source:(Page_repair.source ~disk ~log ~wal_flush ~quarantine ())
+          ~wal_flush ()
   in
   let ctx = Access_ctx.create ~pool ~txns ~log ~clock ~fpi_frequency () in
   {
@@ -98,6 +108,7 @@ let assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequ
     last_checkpoint_wall = Sim_clock.now_us clock;
     recovery_stats = None;
     pool_capacity;
+    quarantine;
   }
 
 let checkpoint ?(flush_pages = true) t =
@@ -111,13 +122,13 @@ let checkpoint ?(flush_pages = true) t =
   lsn
 
 let create ~name ~clock ~media ?log_media ?(pool_capacity = 512) ?(log_cache_blocks = 128)
-    ?(log_block_bytes = 65536) ?(fpi_frequency = 0) ?(checkpoint_interval_us = 30_000_000.0) ()
-    =
+    ?(log_block_bytes = 65536) ?(fpi_frequency = 0) ?(checkpoint_interval_us = 30_000_000.0)
+    ?fault_plan () =
   let log_media = Option.value log_media ~default:media in
-  let disk = Disk.create ~clock ~media () in
+  let disk = Disk.create ~clock ~media ?fault_plan () in
   let log =
     Log_manager.create ~clock ~media:log_media ~cache_blocks:log_cache_blocks
-      ~block_bytes:log_block_bytes ()
+      ~block_bytes:log_block_bytes ?fault_plan ()
   in
   let t =
     assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequency
@@ -440,7 +451,9 @@ let create_as_of_snapshot t ~name ~wall_us =
 
 (* --- persistence --- *)
 
-let magic = "RWDB0001"
+(* Bumped whenever the on-disk encoding changes; "0002" added the CRC
+   trailer to every log record. *)
+let magic = "RWDB0002"
 
 let save t ~path =
   guard_writable t;
@@ -535,11 +548,30 @@ let load ~clock ~media ?log_media ?pool_capacity:(pool_cap = 512) ?(log_cache_bl
   t.alloc <- Alloc_map.open_ t.ctx;
   t
 
+(* --- scrubbing --- *)
+
+let scrub t =
+  (* Touch every written page through the self-healing pool: residual
+     damage (bit rot, applied torn writes) is detected by checksum and
+     repaired from the log; unrepairable pages land in quarantine instead
+     of failing the scrub.  Returns the number of pages repaired. *)
+  let repaired_before = (Disk.stats t.disk).Rw_storage.Io_stats.pages_repaired in
+  for i = 0 to Disk.page_count t.disk - 1 do
+    let pid = Page_id.of_int i in
+    if Disk.has_page t.disk pid then
+      try Rw_buffer.Buffer_pool.with_page t.pool pid ~mode:Rw_buffer.Latch.Shared (fun _ -> ())
+      with Rw_recovery.Page_repair.Quarantined _ -> ()
+  done;
+  (Disk.stats t.disk).Rw_storage.Io_stats.pages_repaired - repaired_before
+
 (* --- crash simulation --- *)
 
 let crash_and_reopen t =
   guard_writable t;
   Buffer_pool.drop_all t.pool;
+  (* Torn writes bite now: pages whose last write was marked tearable keep
+     only a sector prefix of it, and the log may keep a torn tail. *)
+  ignore (Disk.apply_crash t.disk);
   Log_manager.crash t.log;
   let fresh =
     assemble ~name:t.name ~clock:t.clock ~media:t.media ~log_media:t.log_media ~disk:t.disk

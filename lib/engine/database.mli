@@ -23,13 +23,19 @@ val create :
   ?log_block_bytes:int ->
   ?fpi_frequency:int ->
   ?checkpoint_interval_us:float ->
+  ?fault_plan:Rw_storage.Fault_plan.t ->
   unit ->
   t
 (** Create and initialise a fresh database (boot page, allocation map,
     catalog), commit the initialisation and take a first checkpoint.
     [fpi_frequency] is the paper's N (0 disables full-page-image logging);
     [checkpoint_interval_us] (default 30 simulated seconds) triggers an
-    automatic checkpoint at commit when exceeded. *)
+    automatic checkpoint at commit when exceeded.  An optional
+    [fault_plan] threads deterministic fault injection through the disk
+    and the log (see {!Rw_storage.Fault_plan}); the engine detects the
+    injected damage by checksum, repairs pages from the log
+    ({!Rw_recovery.Page_repair}) and truncates torn log tails at
+    recovery. *)
 
 (* Accessors *)
 val name : t -> string
@@ -167,6 +173,19 @@ val crash_and_reopen : t -> t
     state.  The old handle must not be used afterwards. *)
 
 val last_recovery_stats : t -> Rw_recovery.Recovery.stats option
+
+(* Fault injection / graceful degradation *)
+val fault_plan : t -> Rw_storage.Fault_plan.t option
+
+val quarantined_pages : t -> (Rw_storage.Page_id.t * string) list
+(** Pages found unrepairable (with the reason), sorted by id.  Queries
+    touching them raise [Rw_recovery.Page_repair.Quarantined]; everything
+    else keeps serving. *)
+
+val scrub : t -> int
+(** Read every written page through the self-healing pool, repairing any
+    residual damage from the log (unrepairable pages are quarantined, not
+    raised).  Returns the number of pages repaired. *)
 
 (* Internal: assemble a read-only view over an arbitrary buffer pool.
    Exposed for Backup. *)

@@ -191,9 +191,19 @@ let undo_losers ~log ~losers ~write_clr ~apply =
   loop ();
   !undone
 
-type stats = { analysis : analysis; redone_ops : int; undone_ops : int; ended_losers : int }
+type stats = {
+  analysis : analysis;
+  redone_ops : int;
+  undone_ops : int;
+  ended_losers : int;
+  tail_truncated : (Lsn.t * int) option;
+}
 
 let recover ~log ~pool =
+  (* Before trusting the log, validate the crash-time tail: a torn record
+     (and anything after it) is discarded so the scans below only ever see
+     whole records — instead of dying mid-analysis on a decode failure. *)
+  let tail_truncated = Log_manager.repair_tail log in
   let start =
     let c = Log_manager.last_checkpoint log in
     if Lsn.is_nil c then Log_manager.first_lsn log else c
@@ -217,4 +227,4 @@ let recover ~log ~pool =
   in
   let undone_ops = undo_losers ~log ~losers:analysis.losers ~write_clr:true ~apply in
   Log_manager.flush_all log;
-  { analysis; redone_ops; undone_ops; ended_losers }
+  { analysis; redone_ops; undone_ops; ended_losers; tail_truncated }

@@ -48,13 +48,18 @@ type stats = {
   redone_ops : int;
   undone_ops : int;
   ended_losers : int;
+  tail_truncated : (Rw_storage.Lsn.t * int) option;
+      (** where the torn-tail scan truncated the log, and how many records
+          it dropped ([None] if the tail was clean) *)
 }
 
 val recover : log:Rw_wal.Log_manager.t -> pool:Rw_buffer.Buffer_pool.t -> stats
-(** Full crash recovery on the primary database: analysis from the master
-    checkpoint to the end of the (durable) log, redo of missing updates,
-    then rollback of losers with compensation records.  The caller should
-    take a checkpoint afterwards and seed its transaction-id counter above
+(** Full crash recovery on the primary database: first validate the log
+    tail record-by-record and truncate at the first torn record
+    ([Log_manager.repair_tail]), then analysis from the master checkpoint
+    to the end of the (durable) log, redo of missing updates, and rollback
+    of losers with compensation records.  The caller should take a
+    checkpoint afterwards and seed its transaction-id counter above
     [stats.analysis.max_txn_id]. *)
 
 val undo_losers :

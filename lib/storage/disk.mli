@@ -6,14 +6,30 @@
     {!Media} model against the shared {!Sim_clock}.
 
     Reads of pages that were never written return a zeroed page, matching the
-    behaviour of extending a file with zero fill. *)
+    behaviour of extending a file with zero fill.
+
+    When a {!Fault_plan} is attached, every priced read/write consults it:
+    transient errors raise {!Io_error}, bit rot silently damages the stored
+    image (detected by the checksum on the next fetch), and torn writes are
+    recorded and applied by {!apply_crash} at crash time.  The [nocost]
+    paths never fault (they model offline/bulk operations). *)
 
 type t
 
-val create : clock:Sim_clock.t -> media:Media.t -> unit -> t
+exception Corrupt_page of Page_id.t
+(** A fetched page failed checksum verification (raised by readers that
+    verify, e.g. the buffer pool's page source). *)
+
+exception Io_error of { page : Page_id.t; write : bool }
+(** A transient device error.  Retryable: the [*_retrying] variants absorb
+    up to a bounded number of these with simulated backoff. *)
+
+val create : clock:Sim_clock.t -> media:Media.t -> ?fault_plan:Fault_plan.t -> unit -> t
 val clock : t -> Sim_clock.t
 val media : t -> Media.t
 val stats : t -> Io_stats.t
+val fault_plan : t -> Fault_plan.t option
+val set_fault_plan : t -> Fault_plan.t option -> unit
 
 val page_count : t -> int
 (** One past the highest page ever written (or reserved via {!extend}). *)
@@ -49,6 +65,27 @@ val read_page_nocost : t -> Page_id.t -> Page.t
 val write_page_nocost : t -> Page_id.t -> Page.t -> unit
 (** Store without advancing the clock, for callers that have already
     priced the transfer in bulk (e.g. a streamed restore). *)
+
+val read_page_retrying : t -> Page_id.t -> Page.t
+(** {!read_page} with bounded retry: a transient {!Io_error} is retried up
+    to three times with exponential backoff priced on the simulated clock
+    ({!Io_stats.t.io_retries} counts the extra attempts).  Exhausting the
+    budget re-raises. *)
+
+val write_page_retrying : t -> Page_id.t -> Page.t -> unit
+val write_page_seq_retrying : t -> Page_id.t -> Page.t -> unit
+
+val apply_crash : t -> int
+(** Apply every pending torn write to the stored images (the crash
+    happened before those pages were rewritten); returns how many pages
+    were torn.  Clears the pending set. *)
+
+val pending_torn : t -> int
+(** Writes currently marked tearable-on-crash. *)
+
+val corrupt_stored : t -> Page_id.t -> unit
+(** Deterministically flip one stored bit of the page (first body byte) —
+    fault-injection helper for tests; no-op on never-written pages. *)
 
 val verify_checksums : t -> bool
 (** Check every stored page's checksum (free of I/O cost). *)

@@ -1,0 +1,58 @@
+type t = {
+  seed : int;
+  rng : Prng.t;
+  torn_write_rate : float;
+  bit_rot_rate : float;
+  transient_error_rate : float;
+  torn_log_tail_rate : float;
+}
+
+let check_rate name r =
+  if r < 0.0 || r > 1.0 then invalid_arg (Printf.sprintf "Fault_plan.create: %s not in [0,1]" name)
+
+let create ?(torn_write_rate = 0.0) ?(bit_rot_rate = 0.0) ?(transient_error_rate = 0.0)
+    ?(torn_log_tail_rate = 0.0) ~seed () =
+  check_rate "torn_write_rate" torn_write_rate;
+  check_rate "bit_rot_rate" bit_rot_rate;
+  check_rate "transient_error_rate" transient_error_rate;
+  check_rate "torn_log_tail_rate" torn_log_tail_rate;
+  {
+    seed;
+    rng = Prng.create (seed lxor 0x5FA017);
+    torn_write_rate;
+    bit_rot_rate;
+    transient_error_rate;
+    torn_log_tail_rate;
+  }
+
+let seed t = t.seed
+
+type read_fault = Read_ok | Read_bit_rot | Read_transient
+type write_fault = Write_ok | Write_torn_on_crash | Write_transient
+
+let roll t rate = rate > 0.0 && Prng.float t.rng 1.0 < rate
+
+let on_read t =
+  (* One draw per class keeps the schedule stable: enabling one fault class
+     does not shift the decisions of another. *)
+  let transient = roll t t.transient_error_rate in
+  let rot = roll t t.bit_rot_rate in
+  if transient then Read_transient else if rot then Read_bit_rot else Read_ok
+
+let on_write t =
+  let transient = roll t t.transient_error_rate in
+  let torn = roll t t.torn_write_rate in
+  if transient then Write_transient else if torn then Write_torn_on_crash else Write_ok
+
+let tear_log_tail t = roll t t.torn_log_tail_rate
+
+let torn_cut t ~page_size =
+  let sectors = page_size / 512 in
+  512 * Prng.int_in t.rng 1 (max 1 (sectors - 1))
+
+let bit_rot_offset t ~header_size ~page_size =
+  (Prng.int_in t.rng header_size (page_size - 1), Prng.int t.rng 8)
+
+let torn_tail_keep t ~len = if len <= 0 then 0 else Prng.int_in t.rng 0 len
+
+let torn_record_cut t ~len = if len <= 2 then 1 else Prng.int_in t.rng 1 (len - 1)

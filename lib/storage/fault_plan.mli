@@ -1,0 +1,67 @@
+(** Deterministic, seeded fault-injection plan.
+
+    A plan is consulted by {!Disk} on every page I/O and by the log manager
+    at crash time.  All decisions are drawn from one seeded PRNG, so a run
+    with the same seed, the same workload and the same media replays the
+    exact same fault schedule — the property harness relies on this to
+    compare a faulted run against a fault-free oracle.
+
+    Fault model:
+    - {e torn page write}: a page write is marked tearable; if the system
+      crashes before the page is written again, only a sector-aligned
+      prefix of the new image reaches the platter (the rest keeps the old
+      bytes), so the stored checksum no longer matches.
+    - {e bit rot on read}: a read flips one bit of the {e stored} image
+      (media decay), detected by checksum verification on the next fetch.
+    - {e transient I/O error}: the operation fails once; a bounded
+      retry-with-backoff (priced on the simulated clock) succeeds.
+    - {e torn log tail}: at crash, a random prefix of the unflushed log
+      records turns out to have reached disk, with the last of them torn
+      mid-record.  Recovery must detect the tear by record CRC and truncate
+      there — never below the durability point, so acknowledged commits are
+      unaffected. *)
+
+type t
+
+val create :
+  ?torn_write_rate:float ->
+  ?bit_rot_rate:float ->
+  ?transient_error_rate:float ->
+  ?torn_log_tail_rate:float ->
+  seed:int ->
+  unit ->
+  t
+(** All rates are probabilities in [0, 1] and default to 0 (no faults of
+    that class). *)
+
+val seed : t -> int
+
+type read_fault = Read_ok | Read_bit_rot | Read_transient
+type write_fault = Write_ok | Write_torn_on_crash | Write_transient
+
+val on_read : t -> read_fault
+(** Draw the fault decision for one page read. *)
+
+val on_write : t -> write_fault
+(** Draw the fault decision for one page write. *)
+
+val tear_log_tail : t -> bool
+(** Whether this crash tears the log tail. *)
+
+val torn_cut : t -> page_size:int -> int
+(** Sector-aligned (512 B) cut point in (0, page_size) for a torn page:
+    bytes before the cut come from the new image, bytes after from the old
+    one. *)
+
+val bit_rot_offset : t -> header_size:int -> page_size:int -> int * int
+(** [(byte_offset, bit)] to flip for bit rot.  The offset lands in the page
+    body (past the header), so the flip is always covered by the page
+    checksum. *)
+
+val torn_tail_keep : t -> len:int -> int
+(** How many records of an [len]-record unflushed log tail survived the
+    crash (in [0, len]); the last survivor is the torn one. *)
+
+val torn_record_cut : t -> len:int -> int
+(** How many bytes of a [len]-byte torn log record reached disk
+    (in [1, len - 1]). *)

@@ -19,6 +19,14 @@ type t = {
   mutable log_flush_calls : int;
   mutable log_flush_batches : int;
   mutable log_commits_coalesced : int;
+  (* Fault injection and recovery (see DESIGN.md "Robustness").  Injected
+     counts faults the plan actually fired; detected counts checksum/CRC
+     mismatches observed by a reader; repaired counts pages rebuilt from
+     the log; retries counts extra attempts after transient errors. *)
+  mutable faults_injected : int;
+  mutable corruptions_detected : int;
+  mutable pages_repaired : int;
+  mutable io_retries : int;
 }
 
 let create () =
@@ -36,6 +44,10 @@ let create () =
     log_flush_calls = 0;
     log_flush_batches = 0;
     log_commits_coalesced = 0;
+    faults_injected = 0;
+    corruptions_detected = 0;
+    pages_repaired = 0;
+    io_retries = 0;
   }
 
 let reset t =
@@ -51,7 +63,11 @@ let reset t =
   t.log_record_misses <- 0;
   t.log_flush_calls <- 0;
   t.log_flush_batches <- 0;
-  t.log_commits_coalesced <- 0
+  t.log_commits_coalesced <- 0;
+  t.faults_injected <- 0;
+  t.corruptions_detected <- 0;
+  t.pages_repaired <- 0;
+  t.io_retries <- 0
 
 let copy t = { t with random_reads = t.random_reads }
 
@@ -70,6 +86,10 @@ let diff later earlier =
     log_flush_calls = later.log_flush_calls - earlier.log_flush_calls;
     log_flush_batches = later.log_flush_batches - earlier.log_flush_batches;
     log_commits_coalesced = later.log_commits_coalesced - earlier.log_commits_coalesced;
+    faults_injected = later.faults_injected - earlier.faults_injected;
+    corruptions_detected = later.corruptions_detected - earlier.corruptions_detected;
+    pages_repaired = later.pages_repaired - earlier.pages_repaired;
+    io_retries = later.io_retries - earlier.io_retries;
   }
 
 let total_ios t = t.random_reads + t.random_writes
@@ -90,7 +110,11 @@ let add acc x =
   acc.log_record_misses <- acc.log_record_misses + x.log_record_misses;
   acc.log_flush_calls <- acc.log_flush_calls + x.log_flush_calls;
   acc.log_flush_batches <- acc.log_flush_batches + x.log_flush_batches;
-  acc.log_commits_coalesced <- acc.log_commits_coalesced + x.log_commits_coalesced
+  acc.log_commits_coalesced <- acc.log_commits_coalesced + x.log_commits_coalesced;
+  acc.faults_injected <- acc.faults_injected + x.faults_injected;
+  acc.corruptions_detected <- acc.corruptions_detected + x.corruptions_detected;
+  acc.pages_repaired <- acc.pages_repaired + x.pages_repaired;
+  acc.io_retries <- acc.io_retries + x.io_retries
 
 let pp fmt t =
   Format.fprintf fmt "rreads:%d rwrites:%d seqR:%dB seqW:%dB" t.random_reads t.random_writes
@@ -109,3 +133,7 @@ let pp_writes fmt t =
   in
   Format.fprintf fmt "flushes:%d/%d commits-coalesced:%d (%.1f/batch)" t.log_flush_batches
     t.log_flush_calls t.log_commits_coalesced per_batch
+
+let pp_faults fmt t =
+  Format.fprintf fmt "injected:%d detected:%d repaired:%d retries:%d" t.faults_injected
+    t.corruptions_detected t.pages_repaired t.io_retries

@@ -27,6 +27,17 @@ type t = {
       (** commit durability acknowledgements delivered by flush batches;
           divided by [log_flush_batches] this is the group-commit
           coalescing factor *)
+  mutable faults_injected : int;
+      (** faults a {!Fault_plan} actually fired on this device (torn pages
+          applied at crash, bit flips, transient errors, torn log tails) *)
+  mutable corruptions_detected : int;
+      (** checksum/CRC mismatches observed by a reader (page fetch or
+          recovery log scan) *)
+  mutable pages_repaired : int;
+      (** corrupt pages successfully rebuilt from the log *)
+  mutable io_retries : int;
+      (** extra attempts after transient I/O errors (backoff priced on the
+          simulated clock) *)
 }
 
 val create : unit -> t
@@ -48,3 +59,7 @@ val pp_caches : Format.formatter -> t -> unit
 
 val pp_writes : Format.formatter -> t -> unit
 (** Batches/requests/coalescing summary of the log write path. *)
+
+val pp_faults : Format.formatter -> t -> unit
+(** Injected/detected/repaired/retries summary of the fault-injection
+    counters. *)

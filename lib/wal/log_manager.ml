@@ -21,10 +21,13 @@ let empty_entry () = { lsn = Lsn.nil; data = ""; cached = None }
 (* Growable sorted array: one page's chain record LSNs, ascending. *)
 type chain = { mutable arr : Lsn.t array; mutable len : int }
 
+module Fault_plan = Rw_storage.Fault_plan
+
 type t = {
   clock : Sim_clock.t;
   media : Media.t;
   io : Io_stats.t;
+  fault_plan : Fault_plan.t option;
   mutable entries : entry array;
   mutable start : int; (* first live index (moves on truncation) *)
   mutable count : int; (* one past last live index *)
@@ -50,11 +53,12 @@ type t = {
 }
 
 let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536)
-    ?(record_cache_bytes = 4 * 1024 * 1024) () =
+    ?(record_cache_bytes = 4 * 1024 * 1024) ?fault_plan () =
   {
     clock;
     media;
     io = Io_stats.create ();
+    fault_plan;
     entries = Array.make 1024 (empty_entry ());
     start = 0;
     count = 0;
@@ -538,17 +542,87 @@ let restore_entries t entries =
   t.flushed_lsn <- t.end_lsn;
   t.last_checkpoint <- (match t.checkpoint_lsns with c :: _ -> c | [] -> Lsn.nil)
 
-let crash t =
-  (* Everything at or above the durable boundary vanishes. *)
-  while t.count > t.start && Lsn.(t.entries.(t.count - 1).lsn >= t.flushed_lsn) do
+let discard_newest t target =
+  while t.count > target do
     let e = t.entries.(t.count - 1) in
     Hashtbl.remove t.index (Lsn.to_int e.lsn);
     Lru.Weighted.remove t.record_cache (Lsn.to_int e.lsn);
     unindex_record t (Log_record.peek e.data) e.lsn;
     t.entries.(t.count - 1) <- (empty_entry ());
     t.count <- t.count - 1
-  done;
-  t.end_lsn <- t.flushed_lsn;
+  done
+
+let crash t =
+  (* A torn log tail: the OS may have pushed a prefix of the unflushed
+     records to the platter before the crash, with the last of them torn
+     mid-write.  The surviving prefix never reaches below [flushed_lsn],
+     so every acknowledged commit is intact by construction — the tear is
+     strictly in the never-acknowledged tail. *)
+  let first_unflushed = lower_bound t t.flushed_lsn in
+  let keep =
+    match t.fault_plan with
+    | Some plan when t.count > first_unflushed && Fault_plan.tear_log_tail plan ->
+        Fault_plan.torn_tail_keep plan ~len:(t.count - first_unflushed)
+    | _ -> 0
+  in
+  discard_newest t (first_unflushed + keep);
+  if keep > 0 then begin
+    (* Tear the last survivor: only a prefix of its bytes hit the disk.
+       Unindex it while its header is still intact; recovery's CRC scan
+       ([repair_tail]) will find the stump and truncate there. *)
+    let i = t.count - 1 in
+    let e = t.entries.(i) in
+    let cut = Fault_plan.torn_record_cut (Option.get t.fault_plan) ~len:(String.length e.data) in
+    Lru.Weighted.remove t.record_cache (Lsn.to_int e.lsn);
+    unindex_record t (Log_record.peek e.data) e.lsn;
+    t.entries.(i) <- { lsn = e.lsn; data = String.sub e.data 0 cut; cached = None };
+    t.end_lsn <- Lsn.of_int (Lsn.to_int e.lsn + cut);
+    t.io.Io_stats.faults_injected <- t.io.Io_stats.faults_injected + 1
+  end
+  else t.end_lsn <- t.flushed_lsn;
+  t.flushed_lsn <- t.end_lsn;
   t.unflushed_bytes <- 0;
-  if Lsn.(t.last_checkpoint >= t.flushed_lsn) then
+  if Lsn.(t.last_checkpoint >= t.end_lsn) then
     t.last_checkpoint <- (match t.checkpoint_lsns with c :: _ -> c | [] -> Lsn.nil)
+
+let repair_tail t =
+  (* Recovery's torn-tail detector: validate record CRCs forward from the
+     last durable checkpoint (a tear can only live in the crash-time tail,
+     which is always above it) and truncate the log at the first record
+     that fails.  WAL semantics: nothing after a tear can be trusted, even
+     if its bytes happen to look whole. *)
+  let from =
+    if Lsn.(t.last_checkpoint > Lsn.nil) then t.last_checkpoint else t.truncated_below
+  in
+  let i = ref (lower_bound t from) in
+  let scanned = ref 0 in
+  let torn = ref (-1) in
+  while !torn < 0 && !i < t.count do
+    let e = t.entries.(!i) in
+    scanned := !scanned + String.length e.data;
+    if Log_record.check e.data then incr i else torn := !i
+  done;
+  charge_seq t !scanned;
+  if !torn < 0 then None
+  else begin
+    let idx = !torn in
+    let torn_lsn = t.entries.(idx).lsn in
+    let dropped = t.count - idx in
+    for j = t.count - 1 downto idx do
+      let e = t.entries.(j) in
+      Hashtbl.remove t.index (Lsn.to_int e.lsn);
+      Lru.Weighted.remove t.record_cache (Lsn.to_int e.lsn);
+      (* The torn record's header may be mangled; [crash] already unindexed
+         it with intact data, so a failed peek here loses nothing. *)
+      (try unindex_record t (Log_record.peek e.data) e.lsn with _ -> ());
+      t.entries.(j) <- (empty_entry ())
+    done;
+    t.count <- idx;
+    t.end_lsn <- torn_lsn;
+    if Lsn.(t.flushed_lsn > torn_lsn) then t.flushed_lsn <- torn_lsn;
+    t.unflushed_bytes <- 0;
+    if Lsn.(t.last_checkpoint >= torn_lsn) then
+      t.last_checkpoint <- (match t.checkpoint_lsns with c :: _ -> c | [] -> Lsn.nil);
+    t.io.Io_stats.corruptions_detected <- t.io.Io_stats.corruptions_detected + 1;
+    Some (torn_lsn, dropped)
+  end

@@ -30,13 +30,15 @@ val create :
   ?cache_blocks:int ->
   ?block_bytes:int ->
   ?record_cache_bytes:int ->
+  ?fault_plan:Rw_storage.Fault_plan.t ->
   unit ->
   t
 (** [cache_blocks] (default 128) and [block_bytes] (default 65536) size the
     log block cache; [record_cache_bytes] (default 4 MiB) budgets the
     decoded-record cache layered above it.  The record cache only skips
     decode CPU work — block-level I/O accounting is identical with or
-    without it. *)
+    without it.  When a [fault_plan] is attached, {!crash} consults it to
+    decide whether the log tail tears. *)
 
 val clock : t -> Rw_storage.Sim_clock.t
 val stats : t -> Rw_storage.Io_stats.t
@@ -171,7 +173,19 @@ val record_cache_bytes : t -> int
 (** Current decoded-record cache occupancy. *)
 
 val crash : t -> unit
-(** Simulate a crash: discard every record that was not durable. *)
+(** Simulate a crash: discard every record that was not durable.  Under a
+    fault plan that tears the log tail, a random prefix of the unflushed
+    records survives instead — the OS had pushed them out "by luck" — with
+    the last survivor torn mid-record.  The surviving prefix never extends
+    below {!flushed_lsn}, so acknowledged commits are intact either way;
+    the tear is found and removed by {!repair_tail}. *)
+
+val repair_tail : t -> (Rw_storage.Lsn.t * int) option
+(** Validate record CRCs forward from the last durable checkpoint and
+    truncate the log at the first record that fails — the recovery scan's
+    torn-tail repair.  Returns [Some (lsn, dropped)] — the new end of log
+    and how many records were discarded — or [None] if the tail is clean.
+    Priced as a sequential scan of the validated region. *)
 
 val dump_entries : t -> (Rw_storage.Lsn.t * string) list
 (** All retained records, oldest first, in encoded form — for persisting

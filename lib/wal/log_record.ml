@@ -1,6 +1,9 @@
 module Page = Rw_storage.Page
 module Page_id = Rw_storage.Page_id
 module Lsn = Rw_storage.Lsn
+module Checksum = Rw_storage.Checksum
+
+exception Corrupt_record
 
 type op =
   | Insert_row of { slot : int; row : string }
@@ -205,9 +208,28 @@ let encode t =
       i64 e (Lsn.to_int64 prev_page_lsn);
       i64 e (Lsn.to_int64 undo_next);
       encode_op e op);
-  to_string e
+  (* CRC-32 trailer over everything before it: recovery uses it to tell a
+     whole record from a torn tail (see Log_manager.repair_tail). *)
+  let body = to_string e in
+  let n = String.length body in
+  let crc = Checksum.crc32 (Bytes.unsafe_of_string body) ~pos:0 ~len:n in
+  let b = Bytes.create (n + 4) in
+  Bytes.blit_string body 0 b 0 n;
+  Bytes.set_int32_le b n crc;
+  Bytes.unsafe_to_string b
+
+(* Smallest encodable record: txn + prev_txn_lsn + tag + CRC trailer. *)
+let min_encoded_size = 8 + 8 + 1 + 4
+
+let check s =
+  let n = String.length s in
+  n >= min_encoded_size
+  &&
+  let stored = String.get_int32_le s (n - 4) in
+  stored = Checksum.crc32 (Bytes.unsafe_of_string s) ~pos:0 ~len:(n - 4)
 
 let decode s =
+  if not (check s) then raise Corrupt_record;
   let open Codec in
   let d = decoder s in
   let txn = Txn_id.of_int64 (get_i64 d) in

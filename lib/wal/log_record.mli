@@ -57,6 +57,9 @@ type body =
 
 type t = { txn : Txn_id.t; prev_txn_lsn : Rw_storage.Lsn.t; body : body }
 
+exception Corrupt_record
+(** An encoded record failed its CRC trailer check (torn or rotten). *)
+
 val make : ?txn:Txn_id.t -> ?prev_txn_lsn:Rw_storage.Lsn.t -> body -> t
 
 val page_of : t -> Rw_storage.Page_id.t option
@@ -82,8 +85,17 @@ val invert : op -> op option
     [None] for operations that need no compensation ({!op.Full_image}). *)
 
 val encode : t -> string
+(** The encoding ends in a CRC-32 trailer over the preceding bytes, so a
+    torn or corrupted record is detectable without attempting a decode. *)
+
 val decode : string -> t
-(** Raises [Invalid_argument] or [Failure] on corrupt input. *)
+(** Verifies the CRC trailer first, raising {!Corrupt_record} on mismatch;
+    a record that passes the CRC but still fails to parse raises
+    [Invalid_argument] or [Failure]. *)
+
+val check : string -> bool
+(** Whether the encoded record's CRC trailer matches its content — the
+    recovery scan's torn-tail detector.  Never raises. *)
 
 val encoded_size : t -> int
 val pp : Format.formatter -> t -> unit

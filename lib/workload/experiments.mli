@@ -23,6 +23,10 @@ type figure =
       (** design-choice ablations: FPI frequency, log cache size, page- vs
           transaction-oriented undo, and proactive copy-on-write snapshots
           vs the on-demand rewind (§7.1) *)
+  | Faults
+      (** fault-injection campaign: random crash points under torn writes,
+          bit rot, transient I/O errors and torn log tails; verifies
+          detection, log-based repair and oracle agreement *)
 
 val all : figure list
 val of_string : string -> figure option
@@ -33,3 +37,50 @@ val run : ?quick:bool -> figure -> unit
     workload for smoke runs. *)
 
 val run_all : ?quick:bool -> unit -> unit
+
+(** {2 Fault-injection campaign}
+
+    The crash-point property harness behind {!figure.Faults}, exposed so
+    tests and the CLI soak command can assert on the rows instead of
+    parsing printed tables. *)
+
+type fault_rates = {
+  torn_write_rate : float;
+  bit_rot_rate : float;
+  transient_error_rate : float;
+  torn_log_tail_rate : float;
+}
+
+val default_fault_rates : fault_rates
+
+type fault_row = {
+  fr_seed : int;
+  fr_crash_after : int;  (** committed transactions before the crash *)
+  fr_crash_lsn : Rw_storage.Lsn.t;
+  fr_injected : int;
+  fr_detected : int;
+  fr_repaired : int;
+  fr_retries : int;
+  fr_quarantined : int;
+  fr_tail_truncated : bool;
+  fr_consistent : bool;  (** TPC-C cross-table invariants hold *)
+  fr_loser_gone : bool;  (** the in-flight transaction left no trace *)
+  fr_state_agrees : bool;  (** row-for-row equal to the fault-free oracle *)
+  fr_asof_agrees : bool;  (** mid-history as-of query equals the oracle's *)
+}
+
+val fault_row_ok : fault_row -> bool
+
+val crash_repair_run : seed:int -> crash_after:int -> rates:fault_rates -> unit -> fault_row
+(** Run TPC-C under an active fault plan, crash after [crash_after]
+    committed transactions (with one more left in flight), recover, scrub,
+    and compare current state and a mid-history as-of query against a
+    fault-free oracle run driven by the same seed. *)
+
+val crash_repair_campaign :
+  ?seeds:int list -> ?crash_points:int -> ?rates:fault_rates -> ?quick:bool -> unit ->
+  fault_row list
+(** {!crash_repair_run} at [crash_points] seed-derived crash points for
+    each seed (defaults: 3 seeds x 4 points). *)
+
+val print_fault_rows : fault_row list -> unit

@@ -144,8 +144,9 @@ let test_checksum_verified_on_read () =
   Bytes.set p 100 '!';
   Disk.write_page disk (Page_id.of_int 0) p;
   let pool = Buffer_pool.create ~capacity:2 ~source:(Buffer_pool.of_disk disk) () in
-  Alcotest.check_raises "corruption detected" (Failure "checksum failure on page 0") (fun () ->
-      ignore (Buffer_pool.fetch pool (Page_id.of_int 0)))
+  Alcotest.check_raises "corruption detected" (Disk.Corrupt_page (Page_id.of_int 0)) (fun () ->
+      ignore (Buffer_pool.fetch pool (Page_id.of_int 0)));
+  check_int "detection counted" 1 (Disk.stats disk).Rw_storage.Io_stats.corruptions_detected
 
 let () =
   Alcotest.run "buffer"

@@ -66,4 +66,10 @@ check_regression() {
 check_regression "core-primitives/prepare_page_as_of (400-op rewind)" "$base_prepare"
 check_regression "core-primitives/group commit (8 txns/flush)" "$base_commit"
 
+echo "== fault-injection soak (fixed seeds, random crash points) =="
+# TPC-C under torn writes / bit rot / transient errors / torn log tails,
+# crashed at seed-derived points, recovered, repaired, and verified against
+# a fault-free oracle.  Exits non-zero if any crash point fails.
+dune exec bin/rewind_cli.exe -- faultsoak --seeds 11,23,47 --quick
+
 echo "== ci ok =="
