@@ -83,6 +83,34 @@ module Micro = struct
            done;
            ignore (Txn_manager.flush_commits txns)))
 
+  (* Same commit path with the trace collector enabled: the gap between
+     this row and the trace-off row above is the instrumentation overhead
+     (ring-buffer pushes for flush spans and group-ack instants).  With
+     tracing off the instrumentation is one load+branch per site, which is
+     what the ci.sh regression guard on the row above holds to <= 25%. *)
+  let test_group_commit_traced ~batch =
+    let clock = Sim_clock.create () in
+    let log = Log_manager.create ~clock ~media:Media.ram () in
+    let locks = Lock_manager.create () in
+    let txns = Txn_manager.create ~log ~locks in
+    if batch > 1 then
+      Txn_manager.set_group_commit txns ~max_batch_bytes:max_int ~max_delay_us:infinity;
+    Rw_obs.Trace.install_clock (fun () -> Sim_clock.now_us clock);
+    Test.make ~name:(Printf.sprintf "group commit (%d txns/flush, trace on)" batch)
+      (Staged.stage (fun () ->
+           Rw_obs.Trace.enable ();
+           for _ = 1 to batch do
+             let txn = Txn_manager.begin_txn txns in
+             ignore
+               (Txn_manager.log_page_op txns txn ~page:(Page_id.of_int 1)
+                  ~prev_page_lsn:Lsn.nil
+                  (Log_record.Insert_row { slot = 0; row = String.make 64 'r' }));
+             ignore (Txn_manager.commit_begin txns txn ~wall_us:0.0);
+             Txn_manager.finished txns txn
+           done;
+           ignore (Txn_manager.flush_commits txns);
+           Rw_obs.Trace.disable ()))
+
   (* Sorted checkpoint flush: dirty a contiguous range of pages, write them
      back as one run (one seek, the rest sequential). *)
   let test_checkpoint_flush =
@@ -205,6 +233,7 @@ module Micro = struct
         test_group_commit ~batch:1;
         test_group_commit ~batch:8;
         test_group_commit ~batch:64;
+        test_group_commit_traced ~batch:8;
         test_checkpoint_flush;
       ]
 

@@ -14,6 +14,8 @@ module Sim_clock = Rw_storage.Sim_clock
 module Engine = Rw_engine.Engine
 module Executor = Rw_sql.Executor
 module Tpcc = Rw_workload.Tpcc
+module Trace = Rw_obs.Trace
+module Metrics = Rw_obs.Metrics
 
 let media_of_string = function
   | "ssd" -> Ok Media.ssd
@@ -125,6 +127,39 @@ let meta_command session eng line =
       | _ ->
           Printf.printf "usage: \\advance <seconds>\n%!";
           `Continue)
+  | "\\trace" :: args ->
+      (match args with
+      | [ "on" ] ->
+          Trace.enable ();
+          Printf.printf "trace collection on (%d events buffered)\n%!"
+            (List.length (Trace.events ()))
+      | [ "off" ] ->
+          Trace.disable ();
+          Printf.printf "trace collection off\n%!"
+      | [ "clear" ] ->
+          Trace.clear ();
+          Printf.printf "trace buffer cleared\n%!"
+      | [ "dump"; path ] ->
+          Trace.dump ~path;
+          Printf.printf "wrote %d events to %s (open in https://ui.perfetto.dev)\n%!"
+            (List.length (Trace.events ()))
+            path
+      | [] | [ "status" ] ->
+          Printf.printf "trace %s: %d events buffered, %d dropped\n%!"
+            (if Trace.on () then "on" else "off")
+            (List.length (Trace.events ()))
+            (Trace.dropped ())
+      | _ -> Printf.printf "usage: \\trace [on|off|status|clear|dump <path>]\n%!");
+      `Continue
+  | "\\metrics" :: args ->
+      (match args with
+      | [ "json" ] -> print_string (Metrics.to_json ())
+      | [] -> Format.printf "%a%!" (fun fmt () -> Metrics.pp fmt ()) ()
+      | _ -> Printf.printf "usage: \\metrics [json]\n%!");
+      `Continue
+  | "\\explain" :: rest when rest <> [] ->
+      run_statement session ("EXPLAIN " ^ String.concat " " rest);
+      `Continue
   | [ "\\help" ] | [ "\\h" ] ->
       print_endline
         "meta commands:\n\
@@ -135,6 +170,10 @@ let meta_command session eng line =
         \  \\load <path>       load a previously saved database\n\
         \  \\iostats           I/O counters incl. log flush coalescing\n\
         \  \\faults            fault-injection counters and quarantined pages\n\
+        \  \\metrics [json]    engine metrics registry snapshot\n\
+        \  \\trace on|off|status|clear|dump <path>\n\
+        \                     trace collector; dump writes Chrome trace_event JSON\n\
+        \  \\explain SELECT .. run a query and report its rewind cost\n\
         \  \\q                 quit\n\
          statements: CREATE/DROP TABLE|INDEX|DATABASE, INSERT, SELECT, UPDATE, DELETE,\n\
         \  BEGIN/COMMIT/ROLLBACK, USE, SHOW TABLES|DATABASES|HISTORY, CHECKPOINT,\n\
@@ -186,7 +225,7 @@ let repl media =
   let eng, session = make_engine media in
   repl_loop eng session
 
-let exec media script file =
+let exec media script file trace_path =
   let eng, session = make_engine media in
   let source =
     match (script, file) with
@@ -200,10 +239,16 @@ let exec media script file =
     | _ -> failwith "exec: provide exactly one of -e <sql> or a file"
   in
   ignore eng;
-  match Executor.run_script session source with
+  if trace_path <> None then Trace.enable ();
+  (match Executor.run_script session source with
   | results -> List.iter print_result results
   | exception Executor.Sql_error msg -> Printf.printf "ERROR: %s\n" msg
-  | exception Rw_sql.Parser.Parse_error msg -> Printf.printf "parse error: %s\n" msg
+  | exception Rw_sql.Parser.Parse_error msg -> Printf.printf "parse error: %s\n" msg);
+  match trace_path with
+  | Some path ->
+      Trace.dump ~path;
+      Printf.printf "trace: %d events written to %s\n" (List.length (Trace.events ())) path
+  | None -> ()
 
 let demo media txns =
   let eng, session = make_engine media in
@@ -256,7 +301,15 @@ let exec_cmd =
     Arg.(value & opt (some string) None & info [ "e" ] ~docv:"SQL" ~doc:"SQL script to run.")
   in
   let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
-  Cmd.v (Cmd.info "exec" ~doc:"Execute a SQL script") Term.(const exec $ media_term $ script $ file)
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:"Collect a trace of the run and write Chrome trace_event JSON to $(docv).")
+  in
+  Cmd.v (Cmd.info "exec" ~doc:"Execute a SQL script")
+    Term.(const exec $ media_term $ script $ file $ trace)
 
 let demo_cmd =
   let txns =

@@ -2,6 +2,9 @@ module Page = Rw_storage.Page
 module Page_id = Rw_storage.Page_id
 module Lsn = Rw_storage.Lsn
 module Disk = Rw_storage.Disk
+module Obs = Rw_obs.Metrics
+module Probes = Rw_obs.Probes
+module Trace = Rw_obs.Trace
 
 type source = {
   read : Page_id.t -> Page.t;
@@ -80,7 +83,8 @@ let write_back t f =
     t.wal_flush (Page.lsn f.page);
     t.source.write f.id f.page;
     f.dirty <- false;
-    f.rec_lsn <- Lsn.nil
+    f.rec_lsn <- Lsn.nil;
+    Obs.incr Probes.writebacks
   end
 
 let evict_one t =
@@ -96,19 +100,26 @@ let evict_one t =
   | None -> failwith "Buffer_pool: all frames pinned"
   | Some f ->
       write_back t f;
-      Hashtbl.remove t.frames (Page_id.to_int f.id)
+      Hashtbl.remove t.frames (Page_id.to_int f.id);
+      Obs.incr Probes.evictions
 
 let fetch t pid =
   t.tick <- t.tick + 1;
   match Hashtbl.find_opt t.frames (Page_id.to_int pid) with
   | Some f ->
       t.hits <- t.hits + 1;
+      Obs.incr Probes.fetch_hits;
       f.pin_count <- f.pin_count + 1;
       f.last_used <- t.tick;
       f
   | None ->
       t.misses <- t.misses + 1;
+      Obs.incr Probes.fetch_misses;
       if Hashtbl.length t.frames >= t.capacity then evict_one t;
+      if Trace.on () then
+        Trace.instant ~cat:"buf"
+          ~args:[ ("page", Trace.Int (Page_id.to_int pid)) ]
+          "buf.fetch_miss";
       let page = t.source.read pid in
       let f =
         {
@@ -162,6 +173,7 @@ let flush_all t =
   match dirty with
   | [] -> ()
   | _ ->
+      let ts = if Trace.on () then Trace.now () else 0.0 in
       (* One WAL barrier for the whole batch instead of one per page. *)
       let max_lsn = List.fold_left (fun acc f -> Lsn.max acc (Page.lsn f.page)) Lsn.nil dirty in
       t.wal_flush max_lsn;
@@ -177,9 +189,14 @@ let flush_all t =
             | _ -> t.source.write f.id f.page);
             f.dirty <- false;
             f.rec_lsn <- Lsn.nil;
+            Obs.incr Probes.writebacks;
             go pid rest
       in
-      go (-1) dirty
+      go (-1) dirty;
+      if Trace.on () then
+        Trace.complete ~cat:"buf" ~ts
+          ~args:[ ("pages", Trace.Int (List.length dirty)) ]
+          "buf.flush_all"
 
 let drop_all t =
   Hashtbl.iter

@@ -8,6 +8,21 @@ module Media = Rw_storage.Media
 module Log_manager = Rw_wal.Log_manager
 module Buffer_pool = Rw_buffer.Buffer_pool
 module Recovery = Rw_recovery.Recovery
+module Obs = Rw_obs.Metrics
+module Probes = Rw_obs.Probes
+module Trace = Rw_obs.Trace
+
+(* Cost accounting for EXPLAIN: every page rewound on behalf of this
+   snapshot is recorded, so a bracketing reader (the SQL executor, the
+   Experiments table) can attribute exact per-page work to one query by
+   diffing [rewind_count]/[side_file_hits] around it. *)
+type rewind_cost = { rc_page : Page_id.t; rc_ops : int; rc_log_reads : int; rc_fpi : bool }
+
+type tally = {
+  mutable t_side_hits : int;
+  mutable t_rewinds : rewind_cost list; (* newest first *)
+  mutable t_rewind_count : int;
+}
 
 type t = {
   name : string;
@@ -22,6 +37,7 @@ type t = {
   undo_time_us : float;
   in_flight_txns : int;
   undo_ops : int;
+  tally : tally;
 }
 
 let name t = t.name
@@ -34,15 +50,37 @@ let in_flight_txns t = t.in_flight_txns
 let undo_ops t = t.undo_ops
 let pages_materialised t = Sparse_file.page_count t.sparse
 let sparse_bytes t = Sparse_file.allocated_bytes t.sparse
-let drop t = Sparse_file.drop t.sparse
+let side_file_hits t = t.tally.t_side_hits
+let rewind_count t = t.tally.t_rewind_count
+let rewinds t = t.tally.t_rewinds
+
+let drop t =
+  Obs.gauge_add Probes.snapshots_live (-1.0);
+  Sparse_file.drop t.sparse
+
+let record_rewind tally pid (r : Page_undo.result) =
+  tally.t_rewinds <-
+    {
+      rc_page = pid;
+      rc_ops = r.Page_undo.ops_undone;
+      rc_log_reads = r.Page_undo.log_records_read;
+      rc_fpi = r.Page_undo.used_fpi;
+    }
+    :: tally.t_rewinds;
+  tally.t_rewind_count <- tally.t_rewind_count + 1;
+  Obs.incr Probes.snapshot_pages_materialized
 
 (* §5.3 read protocol. *)
-let read_as_of ~sparse ~primary_disk ~log ~split pid =
+let read_as_of ~tally ~sparse ~primary_disk ~log ~split pid =
   match Sparse_file.read sparse pid with
-  | Some page -> page
+  | Some page ->
+      tally.t_side_hits <- tally.t_side_hits + 1;
+      Obs.incr Probes.snapshot_side_hits;
+      page
   | None ->
       let page = Disk.read_page primary_disk pid in
-      ignore (Page_undo.prepare_page_as_of ~log ~page ~as_of:split);
+      let r = Page_undo.prepare_page_as_of ~log ~page ~as_of:split in
+      record_rewind tally (Page.id page) r;
       Sparse_file.write sparse pid page;
       page
 
@@ -52,7 +90,8 @@ let read_as_of ~sparse ~primary_disk ~log ~split pid =
    reads into one sorted pass with sequential runs — then rewind each page.
    The per-page rewind still charges its reads through the block cache;
    the prefetch is what makes most of them hits. *)
-let materialize_pages ~sparse ~primary_disk ~log ~split pids =
+let materialize_pages ~tally ~sparse ~primary_disk ~log ~split pids =
+  let ts = if Trace.on () then Trace.now () else 0.0 in
   let todo =
     List.sort_uniq Page_id.compare pids
     |> List.filter (fun pid -> not (Sparse_file.mem sparse pid))
@@ -80,18 +119,25 @@ let materialize_pages ~sparse ~primary_disk ~log ~split pids =
   Log_manager.prefetch log (List.fold_left chain_lsns [] pages);
   List.iter
     (fun page ->
-      ignore (Page_undo.prepare_page_as_of ~log ~page ~as_of:split);
+      let r = Page_undo.prepare_page_as_of ~log ~page ~as_of:split in
+      record_rewind tally (Page.id page) r;
       Sparse_file.write sparse (Page.id page) page)
     pages;
+  if Trace.on () then
+    Trace.complete ~cat:"snapshot" ~ts
+      ~args:[ ("pages", Trace.Int (List.length pages)) ]
+      "snapshot.materialize_batch";
   List.length pages
 
 let materialize_batch t pids =
-  materialize_pages ~sparse:t.sparse ~primary_disk:t.primary_disk ~log:t.log ~split:t.split_lsn
-    pids
+  materialize_pages ~tally:t.tally ~sparse:t.sparse ~primary_disk:t.primary_disk ~log:t.log
+    ~split:t.split_lsn pids
 
 let create ~name ~wall_us ~log ~primary_pool ~primary_disk ~txns ~clock ~media
     ?(pool_capacity = 256) () =
   let t_start = Sim_clock.now_us clock in
+  let trace_ts = if Trace.on () then Trace.now () else 0.0 in
+  let tally = { t_side_hits = 0; t_rewinds = []; t_rewind_count = 0 } in
   (* 1. Wall-clock time -> SplitLSN. *)
   let split = Split_lsn.find ~log ~wall_us in
   let split_lsn = split.Split_lsn.split_lsn in
@@ -111,7 +157,8 @@ let create ~name ~wall_us ~log ~primary_pool ~primary_disk ~txns ~clock ~media
   let analysis = Recovery.analyze ~log ~start:analysis_start ~upto:split_lsn in
   let source =
     {
-      Buffer_pool.read = (fun pid -> read_as_of ~sparse ~primary_disk ~log ~split:split_lsn pid);
+      Buffer_pool.read =
+        (fun pid -> read_as_of ~tally ~sparse ~primary_disk ~log ~split:split_lsn pid);
       Buffer_pool.write = (fun pid page -> Sparse_file.write sparse pid page);
       Buffer_pool.write_seq = None;
     }
@@ -126,10 +173,10 @@ let create ~name ~wall_us ~log ~primary_pool ~primary_disk ~txns ~clock ~media
      before the undo walk starts: their chains are fetched in one sorted
      pass instead of record-at-a-time as undo stumbles onto each page. *)
   ignore
-    (materialize_pages ~sparse ~primary_disk ~log ~split:split_lsn
+    (materialize_pages ~tally ~sparse ~primary_disk ~log ~split:split_lsn
        (Recovery.loser_pages analysis));
   let apply pid f =
-    let page = read_as_of ~sparse ~primary_disk ~log ~split:split_lsn pid in
+    let page = read_as_of ~tally ~sparse ~primary_disk ~log ~split:split_lsn pid in
     (match f page with Some lsn -> Page.set_lsn page lsn | None -> ());
     Sparse_file.write sparse pid page
   in
@@ -137,6 +184,17 @@ let create ~name ~wall_us ~log ~primary_pool ~primary_disk ~txns ~clock ~media
     Recovery.undo_losers ~log ~losers:analysis.Recovery.losers ~write_clr:false ~apply
   in
   let t_done = Sim_clock.now_us clock in
+  Obs.incr Probes.snapshot_creates;
+  Obs.gauge_add Probes.snapshots_live 1.0;
+  if Trace.on () then
+    Trace.complete ~cat:"snapshot" ~ts:trace_ts
+      ~args:
+        [
+          ("split_lsn", Trace.Int (Lsn.to_int split_lsn));
+          ("in_flight_txns", Trace.Int in_flight);
+          ("undo_ops", Trace.Int undo_ops);
+        ]
+      "snapshot.create";
   {
     name;
     split_lsn;
@@ -150,4 +208,5 @@ let create ~name ~wall_us ~log ~primary_pool ~primary_disk ~txns ~clock ~media
     undo_time_us = t_done -. t_open;
     in_flight_txns = in_flight;
     undo_ops;
+    tally;
   }

@@ -19,6 +19,17 @@
 
 type t
 
+type rewind_cost = {
+  rc_page : Rw_storage.Page_id.t;
+  rc_ops : int;  (** row operations undone to rewind this page *)
+  rc_log_reads : int;  (** log records read for this page's chain *)
+  rc_fpi : bool;  (** whether a full-page-image jump-start was used *)
+}
+(** Cost of one on-demand page rewind, recorded per materialised page so a
+    caller can attribute exact work to one query (see [EXPLAIN] in
+    docs/OBSERVABILITY.md): bracket the query with {!rewind_count} and
+    {!side_file_hits}, then take the new head of {!rewinds}. *)
+
 val create :
   name:string ->
   wall_us:float ->
@@ -69,4 +80,20 @@ val pages_materialised : t -> int
 (** Pages currently cached in the sparse file. *)
 
 val sparse_bytes : t -> int
+
 val drop : t -> unit
+(** Release the sparse side file (and the [snapshot.live] gauge slot). *)
+
+(** {1 Rewind cost accounting} *)
+
+val side_file_hits : t -> int
+(** Snapshot reads served from the sparse side file since creation. *)
+
+val rewind_count : t -> int
+(** Pages rewound (on demand or batched) since creation.  Monotonic;
+    equals [List.length (rewinds t)]. *)
+
+val rewinds : t -> rewind_cost list
+(** Per-page rewind costs, newest first.  The first
+    [rewind_count t - before] elements are the pages rewound since a
+    caller sampled [before = rewind_count t]. *)

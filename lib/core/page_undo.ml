@@ -3,10 +3,31 @@ module Page = Rw_storage.Page
 module Page_id = Rw_storage.Page_id
 module Log_record = Rw_wal.Log_record
 module Log_manager = Rw_wal.Log_manager
+module Obs = Rw_obs.Metrics
+module Probes = Rw_obs.Probes
+module Trace = Rw_obs.Trace
 
 exception Chain_broken of { page : Page_id.t; lsn : Lsn.t }
 
 type result = { ops_undone : int; log_records_read : int; used_fpi : bool }
+
+(* One completed rewind, whichever strategy produced it.  The fallback
+   path is accounted once, inside the walk. *)
+let note pid (r : result) =
+  Obs.incr Probes.page_rewinds;
+  Obs.add Probes.ops_undone r.ops_undone;
+  Obs.observe Probes.chain_length (float_of_int r.log_records_read);
+  if Trace.on () then
+    Trace.instant ~cat:"undo"
+      ~args:
+        [
+          ("page", Trace.Int (Page_id.to_int pid));
+          ("ops", Trace.Int r.ops_undone);
+          ("log_reads", Trace.Int r.log_records_read);
+          ("fpi", Trace.Int (if r.used_fpi then 1 else 0));
+        ]
+      "undo.prepare_page";
+  r
 
 let read_chain_record log pid lsn =
   match Log_manager.read log lsn with
@@ -52,7 +73,7 @@ let prepare_page_as_of_walk ~log ~page ~as_of =
     end
   in
   walk ();
-  { ops_undone = !undone; log_records_read = !reads; used_fpi }
+  note pid { ops_undone = !undone; log_records_read = !reads; used_fpi }
 
 (* Batched rewind: the chain index yields the page's whole backward chain
    in one lookup, so the records are fetched in ascending LSN order (block
@@ -66,7 +87,8 @@ let prepare_page_as_of ~log ~page ~as_of =
   let reads = ref 0 in
   let used_fpi = try_fpi_jump ~log ~page ~as_of ~reads in
   let start = Page.lsn page in
-  if Lsn.(start <= as_of) then { ops_undone = 0; log_records_read = !reads; used_fpi }
+  if Lsn.(start <= as_of) then
+    note pid { ops_undone = 0; log_records_read = !reads; used_fpi }
   else begin
     let segment = Log_manager.chain_segment log pid ~from:start ~down_to:as_of in
     let n = Array.length segment in
@@ -120,6 +142,6 @@ let prepare_page_as_of ~log ~page ~as_of =
             (match prev_of records.(0) with
             | Some prev -> Page.set_lsn page prev
             | None -> assert false);
-            { ops_undone = n; log_records_read = !reads; used_fpi }
+            note pid { ops_undone = n; log_records_read = !reads; used_fpi }
           end
   end

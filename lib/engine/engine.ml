@@ -12,8 +12,13 @@ type t = {
 }
 
 let create ?(media = Media.ssd) ?log_media ?(seed_clock_us = 0.0) () =
+  let clock = Sim_clock.create ~start_us:seed_clock_us () in
+  (* Trace spans are timestamped on this engine's simulated clock, so the
+     exported timeline lines up with the priced I/O.  (A process with
+     several engines traces on whichever was created last.) *)
+  Rw_obs.Trace.install_clock (fun () -> Sim_clock.now_us clock);
   {
-    clock = Sim_clock.create ~start_us:seed_clock_us ();
+    clock;
     media;
     log_media = Option.value log_media ~default:media;
     dbs = Hashtbl.create 8;

@@ -1,0 +1,73 @@
+(* The engine's metric instruments, registered eagerly in one place.
+
+   Keeping every instrument here (rather than at the top of each
+   instrumented module) matters for linking: OCaml only links archive
+   modules that are referenced, so registration scattered across modules
+   would run — and the name set would differ — depending on which
+   executable is being built.  Any program that touches one probe sees
+   the complete registry. *)
+
+let counter = Metrics.counter
+let gauge = Metrics.gauge
+let histogram = Metrics.histogram
+
+(* WAL *)
+
+let log_appends =
+  counter ~unit_:"records" ~help:"Log records appended" "log.appends"
+
+let log_append_bytes =
+  counter ~unit_:"bytes" ~help:"Encoded bytes appended to the log" "log.append_bytes"
+
+let flush_batch_bytes =
+  histogram ~unit_:"bytes" ~help:"Bytes written per physical log flush batch"
+    "log.flush_batch_bytes"
+
+(* Transactions *)
+
+let commits = counter ~unit_:"txns" ~help:"Transactions committed durably" "txn.commits"
+
+let commit_latency_us =
+  histogram ~unit_:"us"
+    ~help:"Simulated time from commit request to durability ack (group commit wait included)"
+    "txn.commit_latency_us"
+
+(* Buffer pool *)
+
+let fetch_hits = counter ~unit_:"fetches" ~help:"Buffer-pool fetches served from memory" "buf.fetch_hits"
+let fetch_misses = counter ~unit_:"fetches" ~help:"Buffer-pool fetches that read the source" "buf.fetch_misses"
+let evictions = counter ~unit_:"pages" ~help:"Pages evicted from the buffer pool" "buf.evictions"
+let writebacks = counter ~unit_:"pages" ~help:"Dirty pages written back to the source" "buf.writebacks"
+
+(* Page rewind (as-of) *)
+
+let page_rewinds =
+  counter ~unit_:"pages" ~help:"prepare_page_as_of invocations (pages rewound)" "undo.page_rewinds"
+
+let ops_undone =
+  counter ~unit_:"ops" ~help:"Row operations undone while rewinding pages" "undo.ops_undone"
+
+let chain_length =
+  histogram ~unit_:"records" ~help:"Log records read per page rewind (chain walk length)"
+    "undo.chain_length"
+
+(* Recovery *)
+
+let recovery_runs = counter ~unit_:"runs" ~help:"Restart recoveries performed" "recovery.runs"
+let recovery_redone = counter ~unit_:"ops" ~help:"Operations replayed by the redo pass" "recovery.redone_ops"
+let recovery_undone = counter ~unit_:"ops" ~help:"Loser operations rolled back by the undo pass" "recovery.undone_ops"
+
+(* As-of snapshots *)
+
+let snapshot_creates = counter ~unit_:"snapshots" ~help:"As-of snapshots created" "snapshot.creates"
+
+let snapshot_pages_materialized =
+  counter ~unit_:"pages" ~help:"Past page versions materialised into side files"
+    "snapshot.pages_materialized"
+
+let snapshot_side_hits =
+  counter ~unit_:"reads" ~help:"Snapshot reads served from the sparse side file"
+    "snapshot.side_file_hits"
+
+let snapshots_live =
+  gauge ~unit_:"snapshots" ~help:"As-of snapshots currently open" "snapshot.live"

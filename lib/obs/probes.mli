@@ -1,0 +1,49 @@
+(** The engine's metric instruments, registered eagerly in one place.
+
+    Every counter/gauge/histogram the engine updates lives here, in the
+    {!Metrics.default} registry.  Centralising them (instead of
+    registering at the top of each instrumented module) keeps the
+    registry's name set independent of which modules a given executable
+    happens to link: OCaml only links archive modules that are
+    referenced, so scattered registration would make [Metrics.names]
+    vary per binary.
+
+    docs/OBSERVABILITY.md documents each metric; a test diffs that
+    document against [Metrics.names ()] so the two cannot drift. *)
+
+(** {1 WAL} *)
+
+val log_appends : Metrics.counter
+val log_append_bytes : Metrics.counter
+val flush_batch_bytes : Metrics.histogram
+
+(** {1 Transactions} *)
+
+val commits : Metrics.counter
+val commit_latency_us : Metrics.histogram
+
+(** {1 Buffer pool} *)
+
+val fetch_hits : Metrics.counter
+val fetch_misses : Metrics.counter
+val evictions : Metrics.counter
+val writebacks : Metrics.counter
+
+(** {1 Page rewind (as-of reads)} *)
+
+val page_rewinds : Metrics.counter
+val ops_undone : Metrics.counter
+val chain_length : Metrics.histogram
+
+(** {1 Restart recovery} *)
+
+val recovery_runs : Metrics.counter
+val recovery_redone : Metrics.counter
+val recovery_undone : Metrics.counter
+
+(** {1 As-of snapshots} *)
+
+val snapshot_creates : Metrics.counter
+val snapshot_pages_materialized : Metrics.counter
+val snapshot_side_hits : Metrics.counter
+val snapshots_live : Metrics.gauge

@@ -1,0 +1,149 @@
+(* A bounded in-memory trace collector.
+
+   Disabled by default; the off-path cost at an instrumentation point is
+   one load and one branch (callers are written as
+   [if Trace.on () then Trace.complete ...] with no closure allocation).
+   Timestamps come from an installed clock closure — the engine installs
+   the simulated clock, so spans line up with the simulated I/O costs that
+   dominate every experiment.  The buffer is a ring: when full, the oldest
+   event is overwritten and [dropped] is incremented, so tracing a long
+   run keeps the most recent window instead of growing without bound. *)
+
+type arg = Int of int | Float of float | Str of string
+
+type phase = Span | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  ph : phase;
+  ts : float; (* simulated µs *)
+  dur : float; (* simulated µs; 0 for instants *)
+  args : (string * arg) list;
+}
+
+let dummy = { name = ""; cat = ""; ph = Instant; ts = 0.0; dur = 0.0; args = [] }
+
+type t = {
+  mutable enabled : bool;
+  mutable now : unit -> float;
+  mutable buf : event array;
+  mutable head : int; (* next write position *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let default_capacity = 65_536
+
+let t =
+  {
+    enabled = false;
+    now = (fun () -> 0.0);
+    buf = [||];
+    head = 0;
+    len = 0;
+    dropped = 0;
+  }
+
+let ensure_buf () = if Array.length t.buf = 0 then t.buf <- Array.make default_capacity dummy
+
+let configure ~capacity () =
+  if capacity < 1 then invalid_arg "Trace.configure: capacity must be positive";
+  t.buf <- Array.make capacity dummy;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let install_clock f = t.now <- f
+let now () = t.now ()
+let on () = t.enabled
+
+let enable () =
+  ensure_buf ();
+  t.enabled <- true
+
+let disable () = t.enabled <- false
+
+let clear () =
+  Array.fill t.buf 0 (Array.length t.buf) dummy;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let dropped () = t.dropped
+
+let push ev =
+  let cap = Array.length t.buf in
+  t.buf.(t.head) <- ev;
+  t.head <- (t.head + 1) mod cap;
+  if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1
+
+let instant ?(args = []) ~cat name =
+  if t.enabled then push { name; cat; ph = Instant; ts = t.now (); dur = 0.0; args }
+
+let complete ?(args = []) ~cat ~ts name =
+  if t.enabled then
+    push { name; cat; ph = Span; ts; dur = Float.max 0.0 (t.now () -. ts); args }
+
+let events () =
+  (* Oldest first. *)
+  let cap = Array.length t.buf in
+  List.init t.len (fun i -> t.buf.((t.head - t.len + i + cap + cap) mod cap))
+
+(* --- Chrome trace_event export --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_json = function
+  | Int i -> string_of_int i
+  | Float f -> if Float.is_nan f || Float.is_integer f then Printf.sprintf "%.0f" (if Float.is_nan f then 0.0 else f) else Printf.sprintf "%.6g" f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let event_json b ev =
+  Buffer.add_string b
+    (Printf.sprintf "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", \"ts\": %.3f"
+       (json_escape ev.name) (json_escape ev.cat)
+       (match ev.ph with Span -> "X" | Instant -> "i")
+       ev.ts);
+  (match ev.ph with
+  | Span -> Buffer.add_string b (Printf.sprintf ", \"dur\": %.3f" ev.dur)
+  | Instant -> Buffer.add_string b ", \"s\": \"g\"");
+  Buffer.add_string b ", \"pid\": 1, \"tid\": 1";
+  if ev.args <> [] then begin
+    Buffer.add_string b ", \"args\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Buffer.add_string b (Printf.sprintf "\"%s\": %s" (json_escape k) (arg_json v)))
+      ev.args;
+    Buffer.add_string b "}"
+  end;
+  Buffer.add_string b "}"
+
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b "  ";
+      event_json b ev)
+    (events ());
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let dump ~path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json ());
+  close_out oc

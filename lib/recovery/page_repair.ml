@@ -6,6 +6,7 @@ module Io_stats = Rw_storage.Io_stats
 module Log_record = Rw_wal.Log_record
 module Log_manager = Rw_wal.Log_manager
 module Buffer_pool = Rw_buffer.Buffer_pool
+module Trace = Rw_obs.Trace
 
 exception Unrepairable of { page : Page_id.t; reason : string }
 exception Quarantined of Page_id.t
@@ -74,6 +75,7 @@ let rebuild ~log pid =
   page
 
 let repair_to_disk ~log ~disk ~wal_flush pid =
+  let ts = if Trace.on () then Trace.now () else 0.0 in
   let page = rebuild ~log pid in
   (* WAL rule: the chain we replayed must be durable before the rebuilt
      page overwrites the stored (corrupt) image. *)
@@ -82,6 +84,10 @@ let repair_to_disk ~log ~disk ~wal_flush pid =
   Disk.write_page_retrying disk pid page;
   let st = Disk.stats disk in
   st.Io_stats.pages_repaired <- st.Io_stats.pages_repaired + 1;
+  if Trace.on () then
+    Trace.complete ~cat:"buf" ~ts
+      ~args:[ ("page", Trace.Int (Page_id.to_int pid)) ]
+      "buf.repair";
   page
 
 let source ~disk ~log ~wal_flush ~quarantine () =

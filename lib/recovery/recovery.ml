@@ -7,8 +7,12 @@ module Log_manager = Rw_wal.Log_manager
 module Buffer_pool = Rw_buffer.Buffer_pool
 module Latch = Rw_buffer.Latch
 module Txn_manager = Rw_txn.Txn_manager
+module Obs = Rw_obs.Metrics
+module Probes = Rw_obs.Probes
+module Trace = Rw_obs.Trace
 
 let checkpoint ~log ~pool ~txns ~wall_us ?(flush_pages = false) () =
+  let ts = if Trace.on () then Trace.now () else 0.0 in
   if flush_pages then Buffer_pool.flush_all pool;
   let record =
     Log_record.make
@@ -25,6 +29,7 @@ let checkpoint ~log ~pool ~txns ~wall_us ?(flush_pages = false) () =
      the durability acknowledgements it earned. *)
   ignore (Txn_manager.ack_flushed txns);
   Log_manager.set_last_checkpoint log lsn;
+  if Trace.on () then Trace.complete ~cat:"recovery" ~ts "recovery.checkpoint";
   lsn
 
 type analysis = {
@@ -209,8 +214,18 @@ let recover ~log ~pool =
     if Lsn.is_nil c then Log_manager.first_lsn log else c
   in
   let upto = Log_manager.end_lsn log in
+  let ts = if Trace.on () then Trace.now () else 0.0 in
   let analysis = analyze ~log ~start ~upto in
+  if Trace.on () then
+    Trace.complete ~cat:"recovery" ~ts
+      ~args:[ ("records_scanned", Trace.Int analysis.records_scanned) ]
+      "recovery.analysis";
+  let ts = if Trace.on () then Trace.now () else 0.0 in
   let redone_ops = redo_pass ~log ~pool ~analysis ~upto in
+  if Trace.on () then
+    Trace.complete ~cat:"recovery" ~ts
+      ~args:[ ("redone_ops", Trace.Int redone_ops) ]
+      "recovery.redo";
   let ended_losers = Hashtbl.length analysis.losers in
   let apply pid f =
     let frame = Buffer_pool.fetch pool pid in
@@ -225,6 +240,14 @@ let recover ~log ~pool =
                 Buffer_pool.mark_dirty pool frame ~lsn
             | None -> ()))
   in
+  let ts = if Trace.on () then Trace.now () else 0.0 in
   let undone_ops = undo_losers ~log ~losers:analysis.losers ~write_clr:true ~apply in
+  if Trace.on () then
+    Trace.complete ~cat:"recovery" ~ts
+      ~args:[ ("undone_ops", Trace.Int undone_ops) ]
+      "recovery.undo";
   Log_manager.flush_all log;
+  Obs.incr Probes.recovery_runs;
+  Obs.add Probes.recovery_redone redone_ops;
+  Obs.add Probes.recovery_undone undone_ops;
   { analysis; redone_ops; undone_ops; ended_losers; tail_truncated }

@@ -43,6 +43,7 @@ type statement =
   | Show_history
   | Undo_transaction of int
   | Checkpoint_stmt
+  | Explain of select
 
 let pp_literal fmt = function
   | Int_lit n -> Format.fprintf fmt "%Ld" n
@@ -89,3 +90,4 @@ let pp_statement fmt = function
   | Show_history -> Format.fprintf fmt "SHOW HISTORY"
   | Undo_transaction id -> Format.fprintf fmt "UNDO TRANSACTION %d" id
   | Checkpoint_stmt -> Format.fprintf fmt "CHECKPOINT"
+  | Explain s -> Format.fprintf fmt "EXPLAIN SELECT FROM %a" pp_table_ref s.from

@@ -61,6 +61,9 @@ type statement =
   | Undo_transaction of int
       (** selectively compensate one committed transaction (paper §8) *)
   | Checkpoint_stmt
+  | Explain of select
+      (** run the query and report its rewind cost — pages rewound,
+          records undone, log bytes read (docs/OBSERVABILITY.md) *)
 
 val pp_literal : Format.formatter -> literal -> unit
 val pp_statement : Format.formatter -> statement -> unit

@@ -2,6 +2,9 @@ module Schema = Rw_catalog.Schema
 module Engine = Rw_engine.Engine
 module Database = Rw_engine.Database
 module Row = Rw_engine.Row
+module Io_stats = Rw_storage.Io_stats
+module Buffer_pool = Rw_buffer.Buffer_pool
+module As_of_snapshot = Rw_core.As_of_snapshot
 
 type session = {
   eng : Engine.t;
@@ -257,6 +260,82 @@ let execute s (stmt : Ast.statement) =
       let tab, rows = select_rows s sel in
       let columns, rows = project tab sel.Ast.proj rows in
       Rows { columns; rows }
+  | Ast.Explain sel ->
+      (* Bracket the query with engine-level cost counters and report the
+         deltas: on an as-of snapshot this is the paper's per-query rewind
+         cost (pages rewound, records undone, log bytes read) made
+         visible.  The counters are sampled immediately before and after
+         the scan, so the deltas are exactly the query's own work. *)
+      let db, _tab = resolve_table s sel.Ast.from in
+      let log_stats = Rw_wal.Log_manager.stats (Database.log db) in
+      let disk_stats = Rw_storage.Disk.stats (Database.disk db) in
+      let pool = Database.pool db in
+      let snap = Database.snapshot_handle db in
+      let log0 = Io_stats.copy log_stats in
+      let disk0 = Io_stats.copy disk_stats in
+      let hits0 = Buffer_pool.hits pool and misses0 = Buffer_pool.misses pool in
+      let rewinds0, side0 =
+        match snap with
+        | Some h -> (As_of_snapshot.rewind_count h, As_of_snapshot.side_file_hits h)
+        | None -> (0, 0)
+      in
+      let t0 = Database.now_us db in
+      let tab, rows = select_rows s sel in
+      let _, projected = project tab sel.Ast.proj rows in
+      let t1 = Database.now_us db in
+      let logd = Io_stats.diff log_stats log0 in
+      let diskd = Io_stats.diff disk_stats disk0 in
+      let new_rewinds, side_hits =
+        match snap with
+        | Some h ->
+            let n = As_of_snapshot.rewind_count h - rewinds0 in
+            let recent = List.filteri (fun i _ -> i < n) (As_of_snapshot.rewinds h) in
+            (recent, As_of_snapshot.side_file_hits h - side0)
+        | None -> ([], 0)
+      in
+      let records_undone =
+        List.fold_left (fun a r -> a + r.As_of_snapshot.rc_ops) 0 new_rewinds
+      in
+      let log_records_read =
+        List.fold_left (fun a r -> a + r.As_of_snapshot.rc_log_reads) 0 new_rewinds
+      in
+      let fpi_jumps =
+        List.fold_left (fun a r -> a + if r.As_of_snapshot.rc_fpi then 1 else 0) 0 new_rewinds
+      in
+      let int v = Row.Int (Int64.of_int v) in
+      let metric name v = [ Row.Text name; v ] in
+      let header =
+        [
+          metric "rows_returned" (int (List.length projected));
+          metric "elapsed_sim_us" (Row.Text (Printf.sprintf "%.1f" (t1 -. t0)));
+          metric "buffer_fetches" (int (Buffer_pool.hits pool - hits0 + Buffer_pool.misses pool - misses0));
+          metric "buffer_hits" (int (Buffer_pool.hits pool - hits0));
+          metric "buffer_misses" (int (Buffer_pool.misses pool - misses0));
+          metric "pages_rewound" (int (List.length new_rewinds));
+          metric "records_undone" (int records_undone);
+          metric "log_records_read" (int log_records_read);
+          metric "fpi_jumps" (int fpi_jumps);
+          metric "side_file_hits" (int side_hits);
+          metric "log_block_hits" (int logd.Io_stats.log_block_hits);
+          metric "log_block_misses" (int logd.Io_stats.log_block_misses);
+          metric "log_bytes_read"
+            (int (logd.Io_stats.random_read_bytes + logd.Io_stats.seq_read_bytes));
+          metric "data_bytes_read"
+            (int (diskd.Io_stats.random_read_bytes + diskd.Io_stats.seq_read_bytes));
+        ]
+      in
+      let per_page =
+        List.rev_map
+          (fun r ->
+            metric
+              (Printf.sprintf "page %d rewind" (Rw_storage.Page_id.to_int r.As_of_snapshot.rc_page))
+              (Row.Text
+                 (Printf.sprintf "%d ops, %d log records%s" r.As_of_snapshot.rc_ops
+                    r.As_of_snapshot.rc_log_reads
+                    (if r.As_of_snapshot.rc_fpi then ", fpi jump" else ""))))
+          new_rewinds
+      in
+      Rows { columns = [ "metric"; "value" ]; rows = header @ per_page }
   | Ast.Update { table; sets; where } ->
       let db, tab = resolve_table s table in
       let lo, hi, matches = compile_where tab where in

@@ -311,6 +311,10 @@ let statement c : Ast.statement =
   | Some "SELECT" ->
       ignore (advance c);
       Ast.Select (select_body c)
+  | Some "EXPLAIN" ->
+      ignore (advance c);
+      expect_kw c "SELECT";
+      Ast.Explain (select_body c)
   | Some "UPDATE" ->
       ignore (advance c);
       let table = table_ref c in

@@ -6,6 +6,9 @@ module Io_stats = Rw_storage.Io_stats
 module Txn_id = Rw_wal.Txn_id
 module Log_record = Rw_wal.Log_record
 module Log_manager = Rw_wal.Log_manager
+module Obs = Rw_obs.Metrics
+module Probes = Rw_obs.Probes
+module Trace = Rw_obs.Trace
 
 type state = Active | Committing | Committed | Aborted
 
@@ -14,7 +17,7 @@ type txn = { id : Txn_id.t; mutable state : state; mutable last_lsn : Lsn.t }
 (* A committing transaction waiting for its commit record to reach stable
    storage.  Acknowledged (state [Committed]) once a flush batch covers
    [commit_lsn]. *)
-type waiter = { w_txn : txn; commit_lsn : Lsn.t }
+type waiter = { w_txn : txn; commit_lsn : Lsn.t; w_begin_us : float }
 
 type policy = { max_batch_bytes : int; max_delay_us : float }
 
@@ -115,11 +118,18 @@ let ack_flushed t =
           let io = Log_manager.stats t.log in
           io.Io_stats.log_commits_coalesced <-
             io.Io_stats.log_commits_coalesced + List.length acked;
+          let now = Sim_clock.now_us (Log_manager.clock t.log) in
           List.iter
             (fun w ->
               w.w_txn.state <- Committed;
+              Obs.incr Probes.commits;
+              Obs.observe Probes.commit_latency_us (now -. w.w_begin_us);
               ignore (append_on_chain t w.w_txn Log_record.End))
-            (List.rev acked));
+            (List.rev acked);
+          if Trace.on () then
+            Trace.instant ~cat:"txn"
+              ~args:[ ("acked", Trace.Int (List.length acked)) ]
+              "txn.group_ack");
       List.length acked
 
 let flush_log t ~upto =
@@ -146,8 +156,9 @@ let commit_begin t txn ~wall_us =
      record is appended (commit order is fixed from here); durability is
      signalled separately by the acknowledgement. *)
   Lock_manager.release_all t.locks txn.id;
-  if t.waiters = [] then t.oldest_wait_us <- Sim_clock.now_us (Log_manager.clock t.log);
-  t.waiters <- { w_txn = txn; commit_lsn } :: t.waiters;
+  let now = Sim_clock.now_us (Log_manager.clock t.log) in
+  if t.waiters = [] then t.oldest_wait_us <- now;
+  t.waiters <- { w_txn = txn; commit_lsn; w_begin_us = now } :: t.waiters;
   commit_lsn
 
 (* Flush-scheduler trigger: batch bytes or batch age, whichever trips first.

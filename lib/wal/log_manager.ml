@@ -22,6 +22,9 @@ let empty_entry () = { lsn = Lsn.nil; data = ""; cached = None }
 type chain = { mutable arr : Lsn.t array; mutable len : int }
 
 module Fault_plan = Rw_storage.Fault_plan
+module Obs = Rw_obs.Metrics
+module Probes = Rw_obs.Probes
+module Trace = Rw_obs.Trace
 
 type t = {
   clock : Sim_clock.t;
@@ -212,6 +215,8 @@ let append t record =
   (* The record object is in hand; seed the decoded cache so the first
      chain walk over fresh history never decodes. *)
   e.cached <- Some (Lru.Weighted.add_node t.record_cache (Lsn.to_int lsn) ~weight:len record);
+  Obs.incr Probes.log_appends;
+  Obs.add Probes.log_append_bytes len;
   lsn
 
 let unflushed_bytes t = t.unflushed_bytes
@@ -224,10 +229,17 @@ let flush t ~upto =
        without touching the device — the calls/batches counter gap is the
        coalescing the write path achieves. *)
     t.io.Io_stats.log_flush_batches <- t.io.Io_stats.log_flush_batches + 1;
+    let batch_bytes = t.unflushed_bytes in
+    let ts = if Trace.on () then Trace.now () else 0.0 in
     Media.random_write t.media t.clock t.io 0;
     Media.seq_write t.media t.clock t.io t.unflushed_bytes;
     t.unflushed_bytes <- 0;
-    t.flushed_lsn <- t.end_lsn
+    t.flushed_lsn <- t.end_lsn;
+    Obs.observe Probes.flush_batch_bytes (float_of_int batch_bytes);
+    if Trace.on () then
+      Trace.complete ~cat:"wal" ~ts
+        ~args:[ ("bytes", Trace.Int batch_bytes) ]
+        "log.flush_batch"
   end
 
 let flush_all t = flush t ~upto:(Lsn.of_int (max 1 (Lsn.to_int t.end_lsn - 1)))

@@ -27,6 +27,10 @@ type figure =
       (** fault-injection campaign: random crash points under torn writes,
           bit rot, transient I/O errors and torn log tails; verifies
           detection, log-based repair and oracle agreement *)
+  | Explain
+      (** per-query rewind cost (pages rewound, records undone, log bytes
+          read) vs time back — the paper's proportional-cost claim as an
+          EXPLAIN table *)
 
 val all : figure list
 val of_string : string -> figure option

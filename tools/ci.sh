@@ -11,6 +11,26 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== dune build @doc =="
+# A no-op without odoc installed, but keeps the doc comments compiling in
+# environments that have it.
+dune build @doc
+
+echo "== trace smoke (exec --trace produces Chrome trace JSON) =="
+trace_tmp=$(mktemp /tmp/rewind_trace.XXXXXX.json)
+dune exec bin/rewind_cli.exe -- exec --trace "$trace_tmp" -e "
+  CREATE DATABASE d; USE d;
+  CREATE TABLE t (k INT, v INT);
+  INSERT INTO t VALUES (1, 10), (2, 20);
+  UPDATE t SET v = 99 WHERE k = 1;
+  CHECKPOINT;
+  SELECT * FROM t;" >/dev/null
+test -s "$trace_tmp"
+grep -q '"traceEvents"' "$trace_tmp"
+grep -q '"ph"' "$trace_tmp"
+rm -f "$trace_tmp"
+echo "trace ok"
+
 echo "== formatting (dune fmt) =="
 # `dune fmt` exits 0 even when it reformats files on this dune version, so
 # detect whether promotion changed anything by hashing the sources around it
