@@ -88,6 +88,36 @@ let meta_command session eng line =
           | None ->
               Printf.printf "current database vanished\n%!";
               `Continue))
+  | [ "\\log" ] -> (
+      match Executor.current_database session with
+      | None ->
+          Printf.printf "no database selected (USE <db>)\n%!";
+          `Continue
+      | Some name -> (
+          match Engine.find_database eng name with
+          | Some db ->
+              let log = Rw_engine.Database.log db in
+              let ss = Rw_wal.Log_manager.segment_stats log in
+              Printf.printf "segments : %d live (%d KiB each) | sealed %d, spilled %d, dropped %d\n"
+                ss.Rw_wal.Log_manager.ss_live
+                (ss.Rw_wal.Log_manager.ss_segment_bytes / 1024)
+                ss.Rw_wal.Log_manager.ss_sealed ss.Rw_wal.Log_manager.ss_spilled
+                ss.Rw_wal.Log_manager.ss_dropped;
+              Printf.printf "resident : %d KiB (tail payload %d KiB + index %d KiB)\n"
+                (ss.Rw_wal.Log_manager.ss_resident_bytes / 1024)
+                (ss.Rw_wal.Log_manager.ss_payload_bytes / 1024)
+                (ss.Rw_wal.Log_manager.ss_index_bytes / 1024);
+              Printf.printf "cold I/O : %d block loads from spilled segments\n"
+                ss.Rw_wal.Log_manager.ss_loaded;
+              Printf.printf "volume   : appended %d KiB total, retained %d KiB (lsn %d..%d)\n%!"
+                (Rw_wal.Log_manager.total_appended_bytes log / 1024)
+                (Rw_wal.Log_manager.retained_bytes log / 1024)
+                (Rw_storage.Lsn.to_int (Rw_wal.Log_manager.first_lsn log))
+                (Rw_storage.Lsn.to_int (Rw_wal.Log_manager.end_lsn log));
+              `Continue
+          | None ->
+              Printf.printf "current database vanished\n%!";
+              `Continue))
   | [ "\\faults" ] -> (
       match Executor.current_database session with
       | None ->
@@ -169,6 +199,7 @@ let meta_command session eng line =
         \  \\save <path>       persist the current database to a file\n\
         \  \\load <path>       load a previously saved database\n\
         \  \\iostats           I/O counters incl. log flush coalescing\n\
+        \  \\log               log segment lifecycle and resident-memory stats\n\
         \  \\faults            fault-injection counters and quarantined pages\n\
         \  \\metrics [json]    engine metrics registry snapshot\n\
         \  \\trace on|off|status|clear|dump <path>\n\

@@ -122,13 +122,13 @@ let checkpoint ?(flush_pages = true) t =
   lsn
 
 let create ~name ~clock ~media ?log_media ?(pool_capacity = 512) ?(log_cache_blocks = 128)
-    ?(log_block_bytes = 65536) ?(fpi_frequency = 0) ?(checkpoint_interval_us = 30_000_000.0)
-    ?fault_plan () =
+    ?(log_block_bytes = 65536) ?log_segment_bytes ?(fpi_frequency = 0)
+    ?(checkpoint_interval_us = 30_000_000.0) ?fault_plan () =
   let log_media = Option.value log_media ~default:media in
   let disk = Disk.create ~clock ~media ?fault_plan () in
   let log =
     Log_manager.create ~clock ~media:log_media ~cache_blocks:log_cache_blocks
-      ~block_bytes:log_block_bytes ?fault_plan ()
+      ~block_bytes:log_block_bytes ?segment_bytes:log_segment_bytes ?fault_plan ()
   in
   let t =
     assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequency
@@ -493,7 +493,7 @@ let save t ~path =
       output_string oc (Rw_wal.Codec.to_string e))
 
 let load ~clock ~media ?log_media ?pool_capacity:(pool_cap = 512) ?(log_cache_blocks = 128)
-    ?(log_block_bytes = 65536) ~path () =
+    ?(log_block_bytes = 65536) ?log_segment_bytes ~path () =
   let ic = open_in_bin path in
   let contents =
     Fun.protect
@@ -525,7 +525,7 @@ let load ~clock ~media ?log_media ?pool_capacity:(pool_cap = 512) ?(log_cache_bl
   Disk.extend disk page_count;
   let log =
     Log_manager.create ~clock ~media:log_media ~cache_blocks:log_cache_blocks
-      ~block_bytes:log_block_bytes ()
+      ~block_bytes:log_block_bytes ?segment_bytes:log_segment_bytes ()
   in
   let n = Rw_wal.Codec.get_u32 d in
   let entries =

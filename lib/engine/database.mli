@@ -21,6 +21,7 @@ val create :
   ?pool_capacity:int ->
   ?log_cache_blocks:int ->
   ?log_block_bytes:int ->
+  ?log_segment_bytes:int ->
   ?fpi_frequency:int ->
   ?checkpoint_interval_us:float ->
   ?fault_plan:Rw_storage.Fault_plan.t ->
@@ -160,6 +161,7 @@ val load :
   ?pool_capacity:int ->
   ?log_cache_blocks:int ->
   ?log_block_bytes:int ->
+  ?log_segment_bytes:int ->
   path:string ->
   unit ->
   t

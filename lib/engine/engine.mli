@@ -23,6 +23,7 @@ val create_database :
   ?checkpoint_interval_us:float ->
   ?log_cache_blocks:int ->
   ?log_block_bytes:int ->
+  ?log_segment_bytes:int ->
   ?fault_plan:Rw_storage.Fault_plan.t ->
   string ->
   Database.t

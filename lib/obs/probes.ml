@@ -23,6 +23,27 @@ let flush_batch_bytes =
   histogram ~unit_:"bytes" ~help:"Bytes written per physical log flush batch"
     "log.flush_batch_bytes"
 
+let log_resident_bytes =
+  gauge ~unit_:"bytes"
+    ~help:"Modeled RAM held by the log: unspilled segment payloads plus per-segment index overhead"
+    "log.resident_bytes"
+
+let log_segments_sealed =
+  counter ~unit_:"segments" ~help:"Log segments sealed (tail reached the segment size)"
+    "log.segments_sealed"
+
+let log_segments_spilled =
+  counter ~unit_:"segments" ~help:"Sealed log segments spilled to media (payload left RAM)"
+    "log.segments_spilled"
+
+let log_segments_loaded =
+  counter ~unit_:"blocks" ~help:"Cold block loads serving reads of spilled log segments"
+    "log.segments_loaded"
+
+let log_segments_dropped =
+  counter ~unit_:"segments" ~help:"Whole log segments dropped by retention truncation"
+    "log.segments_dropped"
+
 (* Transactions *)
 
 let commits = counter ~unit_:"txns" ~help:"Transactions committed durably" "txn.commits"

@@ -16,6 +16,11 @@
 val log_appends : Metrics.counter
 val log_append_bytes : Metrics.counter
 val flush_batch_bytes : Metrics.histogram
+val log_resident_bytes : Metrics.gauge
+val log_segments_sealed : Metrics.counter
+val log_segments_spilled : Metrics.counter
+val log_segments_loaded : Metrics.counter
+val log_segments_dropped : Metrics.counter
 
 (** {1 Transactions} *)
 

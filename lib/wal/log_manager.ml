@@ -7,17 +7,6 @@ module Io_stats = Rw_storage.Io_stats
 exception Log_truncated of Lsn.t
 exception No_such_record of Lsn.t
 
-type entry = {
-  lsn : Lsn.t;
-  data : string;
-  mutable cached : Log_record.t Lru.Weighted.node option;
-      (* Slot handle into the decoded-record cache: a hit is one pointer
-         chase plus a liveness check, no table lookup.  A dead handle (the
-         cache evicted the slot) reads as a miss and is overwritten. *)
-}
-
-let empty_entry () = { lsn = Lsn.nil; data = ""; cached = None }
-
 (* Growable sorted array: one page's chain record LSNs, ascending. *)
 type chain = { mutable arr : Lsn.t array; mutable len : int }
 
@@ -26,15 +15,76 @@ module Obs = Rw_obs.Metrics
 module Probes = Rw_obs.Probes
 module Trace = Rw_obs.Trace
 
+(* The log is a sequence of fixed-size segments (LevelDB-style sealed
+   files).  The newest segment is the active tail: appends land in its
+   blob, in RAM.  Once the tail reaches [segment_bytes] it is sealed —
+   immutable from then on — and spilled: its payload is priced as one
+   sequential write and stops counting against modeled resident memory.
+   Reads of a spilled segment go through the same block cache as always;
+   a block miss is the "reload from media" event.
+
+   Everything per-record is segment-local: the sorted record-offset array
+   that replaces the old global lsn->index Hashtbl (LSNs are byte
+   offsets, so locating a record is a binary search over segments plus a
+   binary search within one), and the FPI directory / page-chain index /
+   checkpoint list slices covering the segment's LSN range.  Retention
+   can therefore drop a whole sealed segment in O(1), freeing its indexes
+   wholesale, instead of filtering global tables record by record. *)
+type segment = {
+  s_base : int; (* absolute byte offset (= LSN) of the segment's first byte *)
+  mutable s_end : int; (* one past the last record byte, absolute *)
+  mutable s_n : int; (* record count *)
+  mutable s_dead : int;
+      (* records [0, s_dead) fell below the retention boundary while the
+         segment straddled it; they stay physically present (the segment
+         is immutable) but are invisible: every read path checks
+         [truncated_below] first and the merged-view queries clamp. *)
+  mutable s_lsns : int array; (* ascending record-start LSNs; length >= s_n *)
+  mutable s_cached : Log_record.t Lru.Weighted.node option array;
+      (* Parallel to [s_lsns]: slot handles into the decoded-record
+         cache.  A hit is one pointer chase plus a liveness check. *)
+  mutable s_blob : Bytes.t; (* encoded payloads, contiguous from s_base *)
+  mutable s_sealed : bool;
+  mutable s_resident : bool; (* payload still counted as modeled RAM *)
+  s_fpi : (int, Lsn.t list ref) Hashtbl.t; (* page -> descending FPI lsns *)
+  s_chains : (int, chain) Hashtbl.t; (* page -> ascending page-record lsns *)
+  mutable s_ckpts : Lsn.t list; (* descending checkpoint lsns *)
+  mutable s_index_bytes : int;
+      (* modeled footprint of this segment's index structures; freed
+         wholesale when the segment is dropped *)
+}
+
+let mk_segment ~segment_bytes base =
+  {
+    s_base = base;
+    s_end = base;
+    s_n = 0;
+    s_dead = 0;
+    s_lsns = Array.make 64 0;
+    s_cached = Array.make 64 None;
+    s_blob = Bytes.create (min (max segment_bytes 64) 4096);
+    s_sealed = false;
+    s_resident = true;
+    s_fpi = Hashtbl.create 8;
+    s_chains = Hashtbl.create 16;
+    s_ckpts = [];
+    s_index_bytes = 0;
+  }
+
+(* Shared filler for vacated slots in the segment window; never inside
+   [seg_lo, seg_hi) and never mutated. *)
+let tombstone = mk_segment ~segment_bytes:64 0
+
 type t = {
   clock : Sim_clock.t;
   media : Media.t;
   io : Io_stats.t;
   fault_plan : Fault_plan.t option;
-  mutable entries : entry array;
-  mutable start : int; (* first live index (moves on truncation) *)
-  mutable count : int; (* one past last live index *)
-  index : (int, int) Hashtbl.t; (* lsn -> entry index *)
+  segment_bytes : int; (* seal threshold *)
+  mutable segs : segment array; (* live window [seg_lo, seg_hi); ascending *)
+  mutable seg_lo : int;
+  mutable seg_hi : int;
+  mutable nrecords : int; (* retained (non-dead) record count *)
   mutable end_lsn : Lsn.t;
   mutable flushed_lsn : Lsn.t;
   mutable truncated_below : Lsn.t;
@@ -45,27 +95,28 @@ type t = {
          over the block cache: block accounting (and therefore simulated
          I/O cost) is identical whether or not a decode is skipped. *)
   mutable last_checkpoint : Lsn.t;
-  mutable checkpoint_lsns : Lsn.t list; (* descending *)
-  fpi_index : (int, Lsn.t list ref) Hashtbl.t; (* page -> descending FPI lsns *)
-  chain_index : (int, chain) Hashtbl.t;
-      (* page -> ascending LSNs of every Page_op/Clr record for that page;
-         the page's whole backward chain, materialised.  Maintained on
-         append/restore/truncate/crash exactly like [fpi_index]. *)
   mutable total_appended_bytes : int;
   mutable unflushed_bytes : int;
+  mutable resident_payload : int; (* unspilled segment payload bytes *)
+  mutable index_bytes : int; (* summed s_index_bytes of live segments *)
+  mutable sealed_count : int; (* lifetime lifecycle counters *)
+  mutable spilled_count : int;
+  mutable loaded_count : int; (* cold block loads from spilled segments *)
+  mutable dropped_count : int;
 }
 
 let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536)
-    ?(record_cache_bytes = 4 * 1024 * 1024) ?fault_plan () =
+    ?(record_cache_bytes = 4 * 1024 * 1024) ?(segment_bytes = 1024 * 1024) ?fault_plan () =
   {
     clock;
     media;
     io = Io_stats.create ();
     fault_plan;
-    entries = Array.make 1024 (empty_entry ());
-    start = 0;
-    count = 0;
-    index = Hashtbl.create 4096;
+    segment_bytes = max segment_bytes 64;
+    segs = Array.make 8 tombstone;
+    seg_lo = 0;
+    seg_hi = 0;
+    nrecords = 0;
     end_lsn = Lsn.of_int 1;
     flushed_lsn = Lsn.of_int 1;
     truncated_below = Lsn.of_int 1;
@@ -73,11 +124,14 @@ let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536)
     block_bytes;
     record_cache = Lru.Weighted.create ~capacity_bytes:record_cache_bytes;
     last_checkpoint = Lsn.nil;
-    checkpoint_lsns = [];
-    fpi_index = Hashtbl.create 256;
-    chain_index = Hashtbl.create 1024;
     total_appended_bytes = 0;
     unflushed_bytes = 0;
+    resident_payload = 0;
+    index_bytes = 0;
+    sealed_count = 0;
+    spilled_count = 0;
+    loaded_count = 0;
+    dropped_count = 0;
   }
 
 let clock t = t.clock
@@ -89,24 +143,188 @@ let last_checkpoint t = t.last_checkpoint
 let set_last_checkpoint t lsn = t.last_checkpoint <- lsn
 let total_appended_bytes t = t.total_appended_bytes
 let retained_bytes t = Lsn.to_int t.end_lsn - Lsn.to_int t.truncated_below
-let record_count t = t.count - t.start
+let record_count t = t.nrecords
 let record_cache_bytes t = Lru.Weighted.size_bytes t.record_cache
+let segment_count t = t.seg_hi - t.seg_lo
+let segment_size t = t.segment_bytes
+let resident_bytes t = t.resident_payload + t.index_bytes
 
-let grow t =
-  if t.count = Array.length t.entries then begin
-    let live = t.count - t.start in
-    let cap = max 1024 (2 * live) in
-    let entries = Array.make cap (empty_entry ()) in
-    Array.blit t.entries t.start entries 0 live;
-    (* Entry indices shift by [t.start]; rebuild the lsn index. *)
-    Hashtbl.reset t.index;
-    for i = 0 to live - 1 do
-      Hashtbl.replace t.index (Lsn.to_int entries.(i).lsn) i
+type segment_stats = {
+  ss_live : int;
+  ss_sealed : int;
+  ss_spilled : int;
+  ss_loaded : int;
+  ss_dropped : int;
+  ss_resident_bytes : int;
+  ss_payload_bytes : int;
+  ss_index_bytes : int;
+  ss_segment_bytes : int;
+}
+
+let segment_stats t =
+  {
+    ss_live = segment_count t;
+    ss_sealed = t.sealed_count;
+    ss_spilled = t.spilled_count;
+    ss_loaded = t.loaded_count;
+    ss_dropped = t.dropped_count;
+    ss_resident_bytes = resident_bytes t;
+    ss_payload_bytes = t.resident_payload;
+    ss_index_bytes = t.index_bytes;
+    ss_segment_bytes = t.segment_bytes;
+  }
+
+let update_resident_gauge t =
+  Obs.set Probes.log_resident_bytes (float_of_int (resident_bytes t))
+
+(* ---------- segment-local primitives ---------- *)
+
+let seg_used s = s.s_end - s.s_base
+
+let rec_len s i = (if i + 1 < s.s_n then s.s_lsns.(i + 1) else s.s_end) - s.s_lsns.(i)
+let rec_pos s i = s.s_lsns.(i) - s.s_base
+let rec_data s i = Bytes.sub_string s.s_blob (rec_pos s i) (rec_len s i)
+let rec_peek s i = Log_record.peek_bytes s.s_blob ~pos:(rec_pos s i) ~len:(rec_len s i)
+
+(* First record index in [s] with start LSN >= target. *)
+let rec_lower s target =
+  let lo = ref 0 and hi = ref s.s_n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.s_lsns.(mid) < target then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let rec_find s li =
+  let i = rec_lower s li in
+  if i < s.s_n && s.s_lsns.(i) = li then Some i else None
+
+(* Index (into [t.segs]) of the segment containing byte offset [li]. *)
+let seg_find t li =
+  if t.seg_hi = t.seg_lo then None
+  else begin
+    let lo = ref t.seg_lo and hi = ref t.seg_hi in
+    (* first segment with s_end > li *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.segs.(mid).s_end <= li then lo := mid + 1 else hi := mid
     done;
-    t.entries <- entries;
-    t.count <- live;
-    t.start <- 0
+    if !lo < t.seg_hi && t.segs.(!lo).s_base <= li then Some !lo else None
   end
+
+let locate_opt t lsn =
+  let li = Lsn.to_int lsn in
+  match seg_find t li with
+  | None -> None
+  | Some si -> (
+      match rec_find t.segs.(si) li with Some i -> Some (si, i) | None -> None)
+
+let locate t lsn =
+  if Lsn.(lsn < t.truncated_below) then raise (Log_truncated lsn);
+  match locate_opt t lsn with Some x -> x | None -> raise (No_such_record lsn)
+
+(* First record (across segments) with start LSN >= target, clamped at
+   the retention boundary — the replacement for the old dense
+   lower_bound over one flat array. *)
+let global_lower t target =
+  let ti = Lsn.to_int (Lsn.max target t.truncated_below) in
+  if t.seg_hi = t.seg_lo then None
+  else begin
+    let lo = ref t.seg_lo and hi = ref t.seg_hi in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.segs.(mid).s_end <= ti then lo := mid + 1 else hi := mid
+    done;
+    if !lo >= t.seg_hi then None
+    else begin
+      let s = t.segs.(!lo) in
+      let i = rec_lower s ti in
+      if i < s.s_n then Some (!lo, i)
+      else if !lo + 1 < t.seg_hi then Some (!lo + 1, 0)
+      else None
+    end
+  end
+
+(* Position of the record preceding (si, i), skipping empty segments. *)
+let pred_pos t (si, i) =
+  if i > 0 then Some (si, i - 1)
+  else begin
+    let s = ref (si - 1) in
+    while !s >= t.seg_lo && t.segs.(!s).s_n = 0 do
+      decr s
+    done;
+    if !s >= t.seg_lo then Some (!s, t.segs.(!s).s_n - 1) else None
+  end
+
+(* ---------- segment window management ---------- *)
+
+let push_seg t seg =
+  if t.seg_hi = Array.length t.segs then begin
+    let live = t.seg_hi - t.seg_lo in
+    let cap = max 8 (2 * (live + 1)) in
+    let a = Array.make cap tombstone in
+    Array.blit t.segs t.seg_lo a 0 live;
+    t.segs <- a;
+    t.seg_lo <- 0;
+    t.seg_hi <- live
+  end;
+  t.segs.(t.seg_hi) <- seg;
+  t.seg_hi <- t.seg_hi + 1
+
+let seal_segment t ?(priced = true) seg =
+  seg.s_sealed <- true;
+  (* Immutable from here on: shrink the working arrays to fit. *)
+  if Array.length seg.s_lsns > seg.s_n then begin
+    seg.s_lsns <- Array.sub seg.s_lsns 0 seg.s_n;
+    seg.s_cached <- Array.sub seg.s_cached 0 seg.s_n
+  end;
+  let used = seg_used seg in
+  if Bytes.length seg.s_blob > used then seg.s_blob <- Bytes.sub seg.s_blob 0 used;
+  t.sealed_count <- t.sealed_count + 1;
+  Obs.incr Probes.log_segments_sealed;
+  (* Spill: the payload leaves modeled RAM, priced as the sequential
+     write of the whole segment (the background writer pushing a sealed
+     log file out).  Restore replays are offline and unpriced. *)
+  if seg.s_resident then begin
+    seg.s_resident <- false;
+    t.resident_payload <- t.resident_payload - used;
+    if priced then Media.seq_write t.media t.clock t.io used;
+    t.spilled_count <- t.spilled_count + 1;
+    Obs.incr Probes.log_segments_spilled
+  end;
+  update_resident_gauge t
+
+let active_segment t =
+  let need_new =
+    t.seg_hi = t.seg_lo || t.segs.(t.seg_hi - 1).s_sealed
+  in
+  if need_new then push_seg t (mk_segment ~segment_bytes:t.segment_bytes (Lsn.to_int t.end_lsn));
+  t.segs.(t.seg_hi - 1)
+
+let ensure_blob seg need =
+  let cap = Bytes.length seg.s_blob in
+  if need > cap then begin
+    let ncap = ref (max cap 64) in
+    while !ncap < need do
+      ncap := !ncap * 2
+    done;
+    let b = Bytes.create !ncap in
+    Bytes.blit seg.s_blob 0 b 0 (seg_used seg);
+    seg.s_blob <- b
+  end
+
+let ensure_slots seg =
+  if seg.s_n = Array.length seg.s_lsns then begin
+    let cap = max 64 (2 * seg.s_n) in
+    let l = Array.make cap 0 in
+    Array.blit seg.s_lsns 0 l 0 seg.s_n;
+    seg.s_lsns <- l;
+    let c = Array.make cap None in
+    Array.blit seg.s_cached 0 c 0 seg.s_n;
+    seg.s_cached <- c
+  end
+
+(* ---------- block-cache cost model (unchanged by segmentation) ---------- *)
 
 let blocks_of t lsn len =
   let first = (Lsn.to_int lsn - 1) / t.block_bytes in
@@ -119,6 +337,26 @@ let touch_cache_on_append t lsn len =
     ignore (Lru.use t.cache b)
   done
 
+(* A block miss against a spilled segment is the cold-reload event the
+   [log.segments_loaded] probe counts; misses against the resident tail
+   are the ordinary cache churn the model always had. *)
+let charge_block_miss t seg =
+  t.io.Io_stats.log_block_misses <- t.io.Io_stats.log_block_misses + 1;
+  Media.random_read t.media t.clock t.io t.block_bytes;
+  if not seg.s_resident then begin
+    t.loaded_count <- t.loaded_count + 1;
+    Obs.incr Probes.log_segments_loaded
+  end
+
+let charge_blocks t seg lsn len =
+  let first, last = blocks_of t lsn len in
+  for b = first to last do
+    if Lru.use t.cache b then t.io.Io_stats.log_block_hits <- t.io.Io_stats.log_block_hits + 1
+    else charge_block_miss t seg
+  done
+
+(* ---------- per-segment directory maintenance ---------- *)
+
 let push_descending table key lsn =
   let l =
     match Hashtbl.find_opt table key with
@@ -130,16 +368,16 @@ let push_descending table key lsn =
   in
   l := lsn :: !l
 
-(* A page's chain is a sorted array (appends arrive in LSN order), so
-   [chain_segment] is two binary searches plus one [Array.sub] — no list
-   walk, no per-record allocation. *)
-let chain_push t key lsn =
+(* A page's chain slice is a sorted array (appends arrive in LSN order),
+   so [chain_segment] is binary searches plus [Array.sub] per touched
+   segment — no list walk, no per-record allocation. *)
+let chain_push tbl key lsn =
   let c =
-    match Hashtbl.find_opt t.chain_index key with
+    match Hashtbl.find_opt tbl key with
     | Some c -> c
     | None ->
         let c = { arr = Array.make 8 Lsn.nil; len = 0 } in
-        Hashtbl.replace t.chain_index key c;
+        Hashtbl.replace tbl key c;
         c
   in
   if c.len = Array.length c.arr then begin
@@ -150,8 +388,8 @@ let chain_push t key lsn =
   c.arr.(c.len) <- lsn;
   c.len <- c.len + 1
 
-let chain_remove t key lsn =
-  match Hashtbl.find_opt t.chain_index key with
+let chain_remove tbl key lsn =
+  match Hashtbl.find_opt tbl key with
   | None -> ()
   | Some c ->
       (* Removals come from [crash], which discards newest-first, so the
@@ -175,48 +413,90 @@ let chain_upper c v =
   in
   go 0 c.len
 
+(* Modeled index footprint per entry: the record's offset + cache-handle
+   slots, a chain array element, an FPI list cons, a checkpoint cons.
+   Coarse, but it moves with the structures it models and is freed
+   exactly when they are. *)
+let idx_record_bytes = 16
+let idx_chain_bytes = 8
+let idx_fpi_bytes = 24
+let idx_ckpt_bytes = 16
+
 (* Directory maintenance from a header peek — shared by append, restore
    and crash so no path needs a payload decode to keep the indexes true. *)
-let index_record t pk lsn =
+let index_record t seg pk lsn =
+  let add = ref idx_record_bytes in
   (match pk.Log_record.p_kind with
   | Log_record.K_page_op Log_record.K_full_image ->
-      push_descending t.fpi_index (Page_id.to_int pk.Log_record.p_page) lsn
-  | Log_record.K_checkpoint -> t.checkpoint_lsns <- lsn :: t.checkpoint_lsns
-  | _ -> ());
-  if Log_record.is_page_kind pk.Log_record.p_kind then
-    chain_push t (Page_id.to_int pk.Log_record.p_page) lsn
-
-let unindex_record t pk lsn =
-  (match pk.Log_record.p_kind with
-  | Log_record.K_page_op Log_record.K_full_image -> (
-      match Hashtbl.find_opt t.fpi_index (Page_id.to_int pk.Log_record.p_page) with
-      | Some l -> l := List.filter (fun f -> not (Lsn.equal f lsn)) !l
-      | None -> ())
+      push_descending seg.s_fpi (Page_id.to_int pk.Log_record.p_page) lsn;
+      add := !add + idx_fpi_bytes
   | Log_record.K_checkpoint ->
-      t.checkpoint_lsns <- List.filter (fun c -> not (Lsn.equal c lsn)) t.checkpoint_lsns
+      seg.s_ckpts <- lsn :: seg.s_ckpts;
+      add := !add + idx_ckpt_bytes
   | _ -> ());
-  if Log_record.is_page_kind pk.Log_record.p_kind then
-    chain_remove t (Page_id.to_int pk.Log_record.p_page) lsn
+  if Log_record.is_page_kind pk.Log_record.p_kind then begin
+    chain_push seg.s_chains (Page_id.to_int pk.Log_record.p_page) lsn;
+    add := !add + idx_chain_bytes
+  end;
+  seg.s_index_bytes <- seg.s_index_bytes + !add;
+  t.index_bytes <- t.index_bytes + !add
+
+let unindex_record t seg pk lsn =
+  let sub = ref idx_record_bytes in
+  (match pk.Log_record.p_kind with
+  | Log_record.K_page_op Log_record.K_full_image ->
+      (match Hashtbl.find_opt seg.s_fpi (Page_id.to_int pk.Log_record.p_page) with
+      | Some l -> l := List.filter (fun f -> not (Lsn.equal f lsn)) !l
+      | None -> ());
+      sub := !sub + idx_fpi_bytes
+  | Log_record.K_checkpoint ->
+      seg.s_ckpts <- List.filter (fun c -> not (Lsn.equal c lsn)) seg.s_ckpts;
+      sub := !sub + idx_ckpt_bytes
+  | _ -> ());
+  if Log_record.is_page_kind pk.Log_record.p_kind then begin
+    chain_remove seg.s_chains (Page_id.to_int pk.Log_record.p_page) lsn;
+    sub := !sub + idx_chain_bytes
+  end;
+  seg.s_index_bytes <- seg.s_index_bytes - !sub;
+  t.index_bytes <- t.index_bytes - !sub
+
+(* ---------- append path ---------- *)
+
+(* Physical placement shared by [append] and [restore_entries]:
+   amortized O(1) — the blob and offset arrays grow by doubling within a
+   bounded segment, and sealing touches each byte once. *)
+let raw_append t data lsn =
+  let len = String.length data in
+  let seg = active_segment t in
+  ensure_blob seg (seg_used seg + len);
+  ensure_slots seg;
+  Bytes.blit_string data 0 seg.s_blob (Lsn.to_int lsn - seg.s_base) len;
+  seg.s_lsns.(seg.s_n) <- Lsn.to_int lsn;
+  seg.s_cached.(seg.s_n) <- None;
+  seg.s_n <- seg.s_n + 1;
+  seg.s_end <- Lsn.to_int lsn + len;
+  t.nrecords <- t.nrecords + 1;
+  t.end_lsn <- Lsn.of_int seg.s_end;
+  t.total_appended_bytes <- t.total_appended_bytes + len;
+  t.resident_payload <- t.resident_payload + len;
+  seg
 
 let append t record =
   let data = Log_record.encode record in
   let len = String.length data in
   let lsn = t.end_lsn in
-  grow t;
-  let e = { lsn; data; cached = None } in
-  t.entries.(t.count) <- e;
-  Hashtbl.replace t.index (Lsn.to_int lsn) t.count;
-  t.count <- t.count + 1;
-  t.end_lsn <- Lsn.of_int (Lsn.to_int lsn + len);
-  t.total_appended_bytes <- t.total_appended_bytes + len;
+  let seg = raw_append t data lsn in
   t.unflushed_bytes <- t.unflushed_bytes + len;
   touch_cache_on_append t lsn len;
-  index_record t (Log_record.peek data) lsn;
+  index_record t seg (Log_record.peek data) lsn;
   (* The record object is in hand; seed the decoded cache so the first
      chain walk over fresh history never decodes. *)
-  e.cached <- Some (Lru.Weighted.add_node t.record_cache (Lsn.to_int lsn) ~weight:len record);
+  seg.s_cached.(seg.s_n - 1) <-
+    Some (Lru.Weighted.add_node t.record_cache (Lsn.to_int lsn) ~weight:len record);
   Obs.incr Probes.log_appends;
   Obs.add Probes.log_append_bytes len;
+  if seg_used seg >= t.segment_bytes then seal_segment t seg
+  else update_resident_gauge t;
   lsn
 
 let unflushed_bytes t = t.unflushed_bytes
@@ -244,168 +524,187 @@ let flush t ~upto =
 
 let flush_all t = flush t ~upto:(Lsn.of_int (max 1 (Lsn.to_int t.end_lsn - 1)))
 
-let find_index t lsn =
-  if Lsn.(lsn < t.truncated_below) then raise (Log_truncated lsn);
-  match Hashtbl.find_opt t.index (Lsn.to_int lsn) with
-  | Some i when i >= t.start && i < t.count -> i
-  | _ -> raise (No_such_record lsn)
+(* ---------- record reads ---------- *)
 
 (* Decode through the record cache; pure CPU layering, no I/O accounting.
    The hit path is the hot loop of every chain walk — one pointer chase
-   through the entry's slot handle, no table lookup. *)
-let decode_miss t e =
+   through the segment's slot handle, no table lookup. *)
+let decode_miss t seg i =
   t.io.Io_stats.log_record_misses <- t.io.Io_stats.log_record_misses + 1;
-  let r = Log_record.decode e.data in
-  e.cached <-
+  let data = rec_data seg i in
+  let r = Log_record.decode data in
+  seg.s_cached.(i) <-
     Some
-      (Lru.Weighted.add_node t.record_cache (Lsn.to_int e.lsn) ~weight:(String.length e.data) r);
+      (Lru.Weighted.add_node t.record_cache seg.s_lsns.(i) ~weight:(String.length data) r);
   r
 
-let decode_cached t e =
-  match e.cached with
+let decode_cached t seg i =
+  match seg.s_cached.(i) with
   | Some n when Lru.Weighted.alive n ->
       t.io.Io_stats.log_record_hits <- t.io.Io_stats.log_record_hits + 1;
       Lru.Weighted.touch t.record_cache n;
       Lru.Weighted.node_value n
-  | _ -> decode_miss t e
+  | _ -> decode_miss t seg i
 
 (* Batch variant: a segment read is one logical access, so hits skip the
-   per-record recency splice (the whole segment would land at the head of
+   per-record recency splice (the whole batch would land at the head of
    the LRU list anyway). *)
-let decode_cached_quiet t e =
-  match e.cached with
+let decode_cached_quiet t seg i =
+  match seg.s_cached.(i) with
   | Some n when Lru.Weighted.alive n ->
       t.io.Io_stats.log_record_hits <- t.io.Io_stats.log_record_hits + 1;
       Lru.Weighted.node_value n
-  | _ -> decode_miss t e
+  | _ -> decode_miss t seg i
 
 let read_nocost t lsn =
-  let i = find_index t lsn in
-  decode_cached t t.entries.(i)
-
-let charge_blocks t e =
-  let first, last = blocks_of t e.lsn (String.length e.data) in
-  for b = first to last do
-    if Lru.use t.cache b then t.io.Io_stats.log_block_hits <- t.io.Io_stats.log_block_hits + 1
-    else begin
-      t.io.Io_stats.log_block_misses <- t.io.Io_stats.log_block_misses + 1;
-      Media.random_read t.media t.clock t.io t.block_bytes
-    end
-  done
+  let si, i = locate t lsn in
+  decode_cached t t.segs.(si) i
 
 let read t lsn =
-  let i = find_index t lsn in
-  let e = t.entries.(i) in
-  charge_blocks t e;
-  decode_cached t e
+  let si, i = locate t lsn in
+  let seg = t.segs.(si) in
+  charge_blocks t seg lsn (rec_len seg i);
+  decode_cached t seg i
 
 (* Batched random read of an ascending LSN list.  Block accounting is the
    same as issuing [read] per record — each distinct block is a hit or one
    priced random read — but charged once per block instead of once per
-   record, and the decodes go through the entry slot handles.  This is the
-   fetch primitive under the batched [prepare_page_as_of]. *)
+   record, and the decodes go through the segment slot handles.  This is
+   the fetch primitive under the batched [prepare_page_as_of]. *)
 let read_segment t lsns =
   if Array.length lsns = 0 then [||]
   else begin
-    (* Entries are stored in ascending LSN order and the segment is
-       ascending, so after the first table lookup each record is located
-       by advancing a finger through the array — the lookup table is only
-       consulted again across a long gap of other pages' records. *)
-    let finger = ref (find_index t lsns.(0)) in
+    (* Records are stored in ascending LSN order and the request is
+       ascending, so after the first binary search each record is located
+       by advancing a (segment, record) finger — the searches are only
+       repeated across a long gap of other pages' records. *)
+    let si = ref 0 and ri = ref 0 in
+    let set_pos lsn =
+      let s, i = locate t lsn in
+      si := s;
+      ri := i
+    in
+    set_pos lsns.(0);
     let last_block = ref (-1) in
     (* Byte position already covered by the charged blocks; records that
        end at or before it need no block arithmetic at all. *)
     let charged_upto = ref 0 in
     Array.map
       (fun lsn ->
-        let i =
-          if !finger < t.count && Lsn.equal t.entries.(!finger).lsn lsn then !finger
+        let li = Lsn.to_int lsn in
+        let rec advance fuel =
+          if !si >= t.seg_hi then set_pos lsn
           else begin
-            let j = ref (!finger + 1) in
-            let fuel = ref 32 in
-            while !fuel > 0 && !j < t.count && not (Lsn.equal t.entries.(!j).lsn lsn) do
-              incr j;
-              decr fuel
-            done;
-            if !j < t.count && Lsn.equal t.entries.(!j).lsn lsn then !j else find_index t lsn
+            let s = t.segs.(!si) in
+            if !ri >= s.s_n then
+              if !si + 1 < t.seg_hi then begin
+                incr si;
+                ri := 0;
+                advance fuel
+              end
+              else set_pos lsn
+            else if s.s_lsns.(!ri) = li then ()
+            else if fuel = 0 || s.s_lsns.(!ri) > li then set_pos lsn
+            else begin
+              incr ri;
+              advance (fuel - 1)
+            end
           end
         in
-        finger := i + 1;
-        let e = t.entries.(i) in
-        if Lsn.to_int e.lsn + String.length e.data - 1 > !charged_upto then begin
-          let first_b, last_b = blocks_of t e.lsn (String.length e.data) in
+        advance 32;
+        let s = t.segs.(!si) in
+        let i = !ri in
+        let len = rec_len s i in
+        if li + len - 1 > !charged_upto then begin
+          let first_b, last_b = blocks_of t lsn len in
           for b = max first_b (!last_block + 1) to last_b do
             if Lru.use t.cache b then
               t.io.Io_stats.log_block_hits <- t.io.Io_stats.log_block_hits + 1
-            else begin
-              t.io.Io_stats.log_block_misses <- t.io.Io_stats.log_block_misses + 1;
-              Media.random_read t.media t.clock t.io t.block_bytes
-            end
+            else charge_block_miss t s
           done;
           if last_b > !last_block then begin
             last_block := last_b;
             charged_upto := ((last_b + 1) * t.block_bytes) - 1
           end
         end;
-        decode_cached_quiet t e)
+        ri := i + 1;
+        decode_cached_quiet t s i)
       lsns
   end
 
 let peek_record t lsn =
-  let i = find_index t lsn in
-  Log_record.peek t.entries.(i).data
+  let si, i = locate t lsn in
+  rec_peek t.segs.(si) i
 
 let mem t lsn =
-  Lsn.(lsn >= t.truncated_below)
-  &&
-  match Hashtbl.find_opt t.index (Lsn.to_int lsn) with
-  | Some i -> i >= t.start && i < t.count
-  | None -> false
+  Lsn.(lsn >= t.truncated_below) && match locate_opt t lsn with Some _ -> true | None -> false
 
 let next_lsn_after t lsn =
-  let i = find_index t lsn in
-  Lsn.of_int (Lsn.to_int lsn + String.length t.entries.(i).data)
+  let si, i = locate t lsn in
+  Lsn.of_int (Lsn.to_int lsn + rec_len t.segs.(si) i)
 
-(* Binary search for the first live entry with lsn >= target. *)
-let lower_bound t target =
-  let rec go lo hi =
-    if lo >= hi then lo
-    else
-      let mid = (lo + hi) / 2 in
-      if Lsn.(t.entries.(mid).lsn < target) then go (mid + 1) hi else go lo mid
-  in
-  go t.start t.count
+(* ---------- range scans ---------- *)
 
 (* Scans are priced sequentially, per record as it is visited, so an
    early-exit scan only pays for the region it actually read. *)
 let charge_seq t bytes = Media.seq_read t.media t.clock t.io bytes
 
+(* Drive [f seg i lsn] over records in [start_pos, upto), ascending,
+   crossing segment boundaries. *)
+let iter_from t start_pos ~upto f =
+  match start_pos with
+  | None -> ()
+  | Some (si0, i0) ->
+      let upto_i = Lsn.to_int upto in
+      let si = ref si0 and i = ref i0 in
+      let continue = ref true in
+      while !continue && !si < t.seg_hi do
+        let s = t.segs.(!si) in
+        if !i >= s.s_n then begin
+          incr si;
+          i := 0
+        end
+        else if s.s_lsns.(!i) >= upto_i then continue := false
+        else begin
+          f s !i (Lsn.of_int s.s_lsns.(!i));
+          incr i
+        end
+      done
+
 let iter_range t ~from ~upto f =
-  let i = ref (lower_bound t from) in
-  while !i < t.count && Lsn.(t.entries.(!i).lsn < upto) do
-    let e = t.entries.(!i) in
-    charge_seq t (String.length e.data);
-    f e.lsn (Log_record.decode e.data);
-    incr i
-  done
+  iter_from t (global_lower t from) ~upto (fun s i lsn ->
+      charge_seq t (rec_len s i);
+      f lsn (Log_record.decode (rec_data s i)))
 
 let iter_range_peek t ~from ~upto f =
-  let i = ref (lower_bound t from) in
-  while !i < t.count && Lsn.(t.entries.(!i).lsn < upto) do
-    let e = t.entries.(!i) in
-    charge_seq t (String.length e.data);
-    f e.lsn (Log_record.peek e.data) (fun () -> decode_cached t e);
-    incr i
-  done
+  iter_from t (global_lower t from) ~upto (fun s i lsn ->
+      charge_seq t (rec_len s i);
+      f lsn (rec_peek s i) (fun () -> decode_cached t s i))
 
 let iter_range_rev t ~from ~upto f =
-  let first = lower_bound t from in
-  let i = ref (lower_bound t upto - 1) in
-  while !i >= first do
-    let e = t.entries.(!i) in
-    charge_seq t (String.length e.data);
-    f e.lsn (Log_record.decode e.data);
-    decr i
+  let from_i = Lsn.to_int (Lsn.max from t.truncated_below) in
+  let start =
+    match global_lower t upto with
+    | Some pos -> pred_pos t pos
+    | None ->
+        (* nothing at or above [upto]: start from the newest record *)
+        if t.seg_hi > t.seg_lo then pred_pos t (t.seg_hi - 1, t.segs.(t.seg_hi - 1).s_n)
+        else None
+  in
+  let pos = ref start in
+  let continue = ref true in
+  while !continue do
+    match !pos with
+    | None -> continue := false
+    | Some (si, i) ->
+        let s = t.segs.(si) in
+        let li = s.s_lsns.(i) in
+        if li < from_i then continue := false
+        else begin
+          charge_seq t (rec_len s i);
+          f (Lsn.of_int li) (Log_record.decode (rec_data s i));
+          pos := pred_pos t (si, i)
+        end
   done
 
 let fold_range t ~from ~upto ~init ~f =
@@ -419,65 +718,164 @@ let charge_scan t ~from ~upto =
   let bytes = max 0 (Lsn.to_int hi - Lsn.to_int lo) in
   charge_seq t bytes
 
+(* ---------- merged directory views ---------- *)
+
 let checkpoints_before t lsn =
-  List.filter (fun c -> Lsn.(c <= lsn) && Lsn.(c >= t.truncated_below)) t.checkpoint_lsns
+  (* Per-segment lists are descending; prepending newer segments' slices
+     in front of older ones keeps the merged list descending. *)
+  let res = ref [] in
+  for si = t.seg_lo to t.seg_hi - 1 do
+    let l =
+      List.filter
+        (fun c -> Lsn.(c <= lsn) && Lsn.(c >= t.truncated_below))
+        t.segs.(si).s_ckpts
+    in
+    res := l @ !res
+  done;
+  !res
+
+(* Newest retained checkpoint, for the crash/repair fallback of
+   [last_checkpoint]. *)
+let newest_checkpoint t =
+  let res = ref Lsn.nil in
+  let si = ref (t.seg_hi - 1) in
+  while Lsn.is_nil !res && !si >= t.seg_lo do
+    (match t.segs.(!si).s_ckpts with
+    | c :: _ when Lsn.(c >= t.truncated_below) -> res := c
+    | _ -> ());
+    decr si
+  done;
+  !res
 
 let earliest_fpi_after t page ~after =
-  match Hashtbl.find_opt t.fpi_index (Page_id.to_int page) with
-  | None -> None
-  | Some l ->
-      (* The list is descending; the earliest FPI still > after is the last
-         element before we cross the boundary. *)
-      let rec go best = function
-        | [] -> best
-        | lsn :: rest ->
-            if Lsn.(lsn > after) && Lsn.(lsn >= t.truncated_below) then go (Some lsn) rest
-            else best
-      in
-      go None !l
+  let pid = Page_id.to_int page in
+  let ai = Lsn.to_int after in
+  let res = ref None in
+  let si = ref t.seg_lo in
+  (* Oldest-first: the first segment holding a qualifying FPI holds the
+     earliest one. *)
+  while !res = None && !si < t.seg_hi do
+    let s = t.segs.(!si) in
+    if s.s_end > ai + 1 then begin
+      match Hashtbl.find_opt s.s_fpi pid with
+      | None -> ()
+      | Some l ->
+          (* The list is descending; the earliest FPI still > after is the
+             last element before we cross the boundary. *)
+          let rec go best = function
+            | [] -> best
+            | lsn :: rest ->
+                if Lsn.(lsn > after) && Lsn.(lsn >= t.truncated_below) then go (Some lsn) rest
+                else best
+          in
+          res := go None !l
+    end;
+    incr si
+  done;
+  !res
 
 let empty_segment : Lsn.t array = [||]
 
 let chain_segment t page ~from ~down_to =
-  match Hashtbl.find_opt t.chain_index (Page_id.to_int page) with
-  | None -> empty_segment
-  | Some c ->
-      (* The chain is pruned at truncation, so every element is retained;
-         the segment (down_to, from] is a contiguous run. *)
-      let lo = chain_upper c down_to in
-      let hi = chain_upper c from in
-      if hi <= lo then empty_segment else Array.sub c.arr lo (hi - lo)
+  let pid = Page_id.to_int page in
+  (* Clamp at the retention boundary: a straddling segment keeps its dead
+     prefix physically, so the boundary must be enforced here rather than
+     by eager pruning.  [chain_upper] is strict-greater, so the clamp
+     value is one below the first retained LSN. *)
+  let dt = Lsn.of_int (max (Lsn.to_int down_to) (Lsn.to_int t.truncated_below - 1)) in
+  let from_i = Lsn.to_int from in
+  if Lsn.(from <= dt) then empty_segment
+  else begin
+    let slices = ref [] in
+    (* (arr, lo, n), newest first *)
+    let total = ref 0 in
+    for si = t.seg_lo to t.seg_hi - 1 do
+      let s = t.segs.(si) in
+      if s.s_end > Lsn.to_int dt + 1 && s.s_base <= from_i then
+        match Hashtbl.find_opt s.s_chains pid with
+        | None -> ()
+        | Some c ->
+            let lo = chain_upper c dt in
+            let hi = chain_upper c from in
+            if hi > lo then begin
+              slices := (c.arr, lo, hi - lo) :: !slices;
+              total := !total + (hi - lo)
+            end
+    done;
+    match !slices with
+    | [] -> empty_segment
+    | [ (arr, lo, n) ] -> Array.sub arr lo n
+    | l ->
+        let out = Array.make !total Lsn.nil in
+        let pos = ref !total in
+        List.iter
+          (fun (arr, lo, n) ->
+            pos := !pos - n;
+            Array.blit arr lo out !pos n)
+          l;
+        out
+  end
 
 let pages_changed_since t ~since =
-  Hashtbl.fold
-    (fun page c acc ->
-      if c.len > 0 && Lsn.(c.arr.(c.len - 1) > since) then Page_id.of_int page :: acc else acc)
-    t.chain_index []
+  let acc = Hashtbl.create 64 in
+  let tb = Lsn.to_int t.truncated_below in
+  for si = t.seg_lo to t.seg_hi - 1 do
+    let s = t.segs.(si) in
+    if s.s_end > Lsn.to_int since + 1 then
+      Hashtbl.iter
+        (fun page c ->
+          if
+            c.len > 0
+            && Lsn.(c.arr.(c.len - 1) > since)
+            && Lsn.to_int c.arr.(c.len - 1) >= tb
+          then Hashtbl.replace acc page ())
+        s.s_chains
+  done;
+  Hashtbl.fold (fun p () l -> Page_id.of_int p :: l) acc []
 
 let prefetch t lsns =
   (* Resolve every requested record to its block set; unknown or truncated
      LSNs are skipped — prefetch is advisory, the subsequent [read] is what
-     reports errors. *)
+     reports errors.  Each block carries whether it serves a spilled
+     (cold) segment, for the reload probe. *)
   let blocks = ref [] in
   List.iter
     (fun lsn ->
       if Lsn.(lsn >= t.truncated_below) then
-        match Hashtbl.find_opt t.index (Lsn.to_int lsn) with
-        | Some i when i >= t.start && i < t.count ->
-            let e = t.entries.(i) in
-            let first, last = blocks_of t e.lsn (String.length e.data) in
+        match locate_opt t lsn with
+        | Some (si, i) ->
+            let s = t.segs.(si) in
+            let cold = not s.s_resident in
+            let first, last = blocks_of t lsn (rec_len s i) in
             for b = first to last do
-              blocks := b :: !blocks
+              blocks := (b, cold) :: !blocks
             done
-        | _ -> ())
+        | None -> ())
     lsns;
   let blocks = List.sort_uniq compare !blocks in
+  (* Merge duplicate block entries (a boundary block shared by a resident
+     and a spilled segment): cold wins. *)
+  let blocks =
+    List.rev
+      (List.fold_left
+         (fun acc (b, c) ->
+           match acc with
+           | (b', c') :: rest when b' = b -> (b', c' || c) :: rest
+           | _ -> (b, c) :: acc)
+         [] blocks)
+  in
+  let count_load cold =
+    if cold then begin
+      t.loaded_count <- t.loaded_count + 1;
+      Obs.incr Probes.log_segments_loaded
+    end
+  in
   (* Consecutive missing blocks are fetched as one run: a single seek plus
      sequential transfer, instead of one random I/O per block.  This is the
      whole point of batching chain reads in LSN order. *)
   let rec go = function
     | [] -> ()
-    | b :: rest ->
+    | (b, cold) :: rest ->
         if Lru.use t.cache b then begin
           t.io.Io_stats.log_block_hits <- t.io.Io_stats.log_block_hits + 1;
           go rest
@@ -485,11 +883,13 @@ let prefetch t lsns =
         else begin
           t.io.Io_stats.log_block_misses <- t.io.Io_stats.log_block_misses + 1;
           Media.random_read t.media t.clock t.io t.block_bytes;
+          count_load cold;
           let rec run prev = function
-            | b' :: rest' when b' = prev + 1 && not (Lru.mem t.cache b') ->
+            | (b', cold') :: rest' when b' = prev + 1 && not (Lru.mem t.cache b') ->
                 ignore (Lru.use t.cache b');
                 t.io.Io_stats.log_block_misses <- t.io.Io_stats.log_block_misses + 1;
                 Media.seq_read t.media t.clock t.io t.block_bytes;
+                count_load cold';
                 run b' rest'
             | rest' -> rest'
           in
@@ -498,40 +898,75 @@ let prefetch t lsns =
   in
   go blocks
 
+(* ---------- truncation (retention) ---------- *)
+
+let drop_record_cache_entry t seg i =
+  (match seg.s_cached.(i) with
+  | Some n when Lru.Weighted.alive n -> Lru.Weighted.remove t.record_cache seg.s_lsns.(i)
+  | _ -> ());
+  seg.s_cached.(i) <- None
+
+(* Drop a whole segment: its record-cache slots are released and its
+   index tables become garbage in one step — this is what makes
+   retention O(1) per segment instead of O(records). *)
+let drop_segment t ~counted seg =
+  for i = seg.s_dead to seg.s_n - 1 do
+    drop_record_cache_entry t seg i
+  done;
+  if seg.s_resident then t.resident_payload <- t.resident_payload - seg_used seg;
+  t.index_bytes <- t.index_bytes - seg.s_index_bytes;
+  t.nrecords <- t.nrecords - (seg.s_n - seg.s_dead);
+  if counted then begin
+    t.dropped_count <- t.dropped_count + 1;
+    Obs.incr Probes.log_segments_dropped
+  end
+
 let truncate_before t lsn =
   if Lsn.(lsn > t.truncated_below) then begin
-    let cut = lower_bound t lsn in
-    for i = t.start to cut - 1 do
-      Hashtbl.remove t.index (Lsn.to_int t.entries.(i).lsn);
-      Lru.Weighted.remove t.record_cache (Lsn.to_int t.entries.(i).lsn);
-      t.entries.(i) <- (empty_entry ())
+    let li = Lsn.to_int lsn in
+    (* Whole sealed segments below the cut go wholesale. *)
+    while t.seg_lo < t.seg_hi && t.segs.(t.seg_lo).s_end <= li do
+      drop_segment t ~counted:true t.segs.(t.seg_lo);
+      t.segs.(t.seg_lo) <- tombstone;
+      t.seg_lo <- t.seg_lo + 1
     done;
-    t.start <- cut;
     t.truncated_below <- lsn;
-    t.checkpoint_lsns <- List.filter (fun c -> Lsn.(c >= lsn)) t.checkpoint_lsns;
-    Hashtbl.iter (fun _ l -> l := List.filter (fun f -> Lsn.(f >= lsn)) !l) t.fpi_index;
-    (* Chains are ascending, so truncation drops a prefix: locate the first
-       surviving element and shift it to the front. *)
-    Hashtbl.iter
-      (fun _ c ->
-        (* First element >= lsn, i.e. strictly above the last dropped LSN. *)
-        let keep_from = chain_upper c (Lsn.of_int (Lsn.to_int lsn - 1)) in
-        if keep_from > 0 then begin
-          Array.blit c.arr keep_from c.arr 0 (c.len - keep_from);
-          c.len <- c.len - keep_from
-        end)
-      t.chain_index
+    (* The straddling segment (if any) keeps its dead prefix physically —
+       it is immutable — but the prefix's record-cache slots are released
+       and the records leave the retained count.  The block cache needs no
+       invalidation: membership is a cost-model artifact, and a dropped
+       LSN can never be served from it because every read path checks
+       [truncated_below] before touching a block. *)
+    if t.seg_lo < t.seg_hi then begin
+      let s = t.segs.(t.seg_lo) in
+      if s.s_base < li then begin
+        let dead = rec_lower s li in
+        if dead > s.s_dead then begin
+          for i = s.s_dead to dead - 1 do
+            drop_record_cache_entry t s i
+          done;
+          t.nrecords <- t.nrecords - (dead - s.s_dead);
+          s.s_dead <- dead
+        end
+      end
+    end;
+    update_resident_gauge t
   end
+
+(* ---------- persistence ---------- *)
 
 let dump_entries t =
   let acc = ref [] in
-  for i = t.count - 1 downto t.start do
-    acc := (t.entries.(i).lsn, t.entries.(i).data) :: !acc
+  for si = t.seg_hi - 1 downto t.seg_lo do
+    let s = t.segs.(si) in
+    for i = s.s_n - 1 downto s.s_dead do
+      acc := (Lsn.of_int s.s_lsns.(i), rec_data s i) :: !acc
+    done
   done;
   !acc
 
 let restore_entries t entries =
-  if t.count > t.start || Lsn.to_int t.end_lsn > 1 then
+  if t.nrecords > 0 || Lsn.to_int t.end_lsn > 1 then
     invalid_arg "Log_manager.restore_entries: log not empty";
   (match entries with
   | [] -> ()
@@ -543,26 +978,52 @@ let restore_entries t entries =
     (fun (lsn, data) ->
       if not (Lsn.equal lsn t.end_lsn) then
         invalid_arg "Log_manager.restore_entries: non-contiguous entries";
-      grow t;
-      t.entries.(t.count) <- { lsn; data; cached = None };
-      Hashtbl.replace t.index (Lsn.to_int lsn) t.count;
-      t.count <- t.count + 1;
-      t.end_lsn <- Lsn.of_int (Lsn.to_int lsn + String.length data);
-      t.total_appended_bytes <- t.total_appended_bytes + String.length data;
-      index_record t (Log_record.peek data) lsn)
+      let seg = raw_append t data lsn in
+      index_record t seg (Log_record.peek data) lsn;
+      (* Replay sealing so a restored log has the same segment shape as
+         the one that was dumped — but unpriced: persistence is an
+         offline operation. *)
+      if seg_used seg >= t.segment_bytes then seal_segment t ~priced:false seg)
     entries;
   t.flushed_lsn <- t.end_lsn;
-  t.last_checkpoint <- (match t.checkpoint_lsns with c :: _ -> c | [] -> Lsn.nil)
+  t.last_checkpoint <- newest_checkpoint t;
+  update_resident_gauge t
 
-let discard_newest t target =
-  while t.count > target do
-    let e = t.entries.(t.count - 1) in
-    Hashtbl.remove t.index (Lsn.to_int e.lsn);
-    Lru.Weighted.remove t.record_cache (Lsn.to_int e.lsn);
-    unindex_record t (Log_record.peek e.data) e.lsn;
-    t.entries.(t.count - 1) <- (empty_entry ());
-    t.count <- t.count - 1
-  done
+(* ---------- crash simulation and tail repair ---------- *)
+
+(* Remove the newest record; pops the tail segment once it has no live
+   records left. *)
+let remove_last t =
+  let si = t.seg_hi - 1 in
+  let s = t.segs.(si) in
+  let i = s.s_n - 1 in
+  let li = s.s_lsns.(i) in
+  let len = rec_len s i in
+  Lru.Weighted.remove t.record_cache li;
+  (try unindex_record t s (rec_peek s i) (Lsn.of_int li) with _ -> ());
+  s.s_cached.(i) <- None;
+  s.s_n <- i;
+  s.s_end <- li;
+  if s.s_resident then t.resident_payload <- t.resident_payload - len;
+  t.nrecords <- t.nrecords - 1;
+  if s.s_n <= s.s_dead then begin
+    (* No live records left in the tail segment; its dead prefix (if any)
+       already left the retained count at truncation time. *)
+    t.index_bytes <- t.index_bytes - s.s_index_bytes;
+    t.segs.(si) <- tombstone;
+    t.seg_hi <- si
+  end
+
+(* Records (across segments) with start LSN >= target. *)
+let records_from t target =
+  match global_lower t target with
+  | None -> 0
+  | Some (si, i) ->
+      let n = ref (t.segs.(si).s_n - i) in
+      for s = si + 1 to t.seg_hi - 1 do
+        n := !n + t.segs.(s).s_n
+      done;
+      !n
 
 let crash t =
   (* A torn log tail: the OS may have pushed a prefix of the unflushed
@@ -570,71 +1031,100 @@ let crash t =
      mid-write.  The surviving prefix never reaches below [flushed_lsn],
      so every acknowledged commit is intact by construction — the tear is
      strictly in the never-acknowledged tail. *)
-  let first_unflushed = lower_bound t t.flushed_lsn in
+  let unflushed_records = records_from t t.flushed_lsn in
   let keep =
     match t.fault_plan with
-    | Some plan when t.count > first_unflushed && Fault_plan.tear_log_tail plan ->
-        Fault_plan.torn_tail_keep plan ~len:(t.count - first_unflushed)
+    | Some plan when unflushed_records > 0 && Fault_plan.tear_log_tail plan ->
+        Fault_plan.torn_tail_keep plan ~len:unflushed_records
     | _ -> 0
   in
-  discard_newest t (first_unflushed + keep);
+  for _ = 1 to unflushed_records - keep do
+    remove_last t
+  done;
   if keep > 0 then begin
     (* Tear the last survivor: only a prefix of its bytes hit the disk.
        Unindex it while its header is still intact; recovery's CRC scan
-       ([repair_tail]) will find the stump and truncate there. *)
-    let i = t.count - 1 in
-    let e = t.entries.(i) in
-    let cut = Fault_plan.torn_record_cut (Option.get t.fault_plan) ~len:(String.length e.data) in
-    Lru.Weighted.remove t.record_cache (Lsn.to_int e.lsn);
-    unindex_record t (Log_record.peek e.data) e.lsn;
-    t.entries.(i) <- { lsn = e.lsn; data = String.sub e.data 0 cut; cached = None };
-    t.end_lsn <- Lsn.of_int (Lsn.to_int e.lsn + cut);
+       ([repair_tail]) will find the stump and truncate there.  The stump
+       stays listed in its segment — [s_end] just stops short, exactly as
+       a torn file would. *)
+    let s = t.segs.(t.seg_hi - 1) in
+    let i = s.s_n - 1 in
+    let li = s.s_lsns.(i) in
+    let len = rec_len s i in
+    let cut = Fault_plan.torn_record_cut (Option.get t.fault_plan) ~len in
+    Lru.Weighted.remove t.record_cache li;
+    (try unindex_record t s (rec_peek s i) (Lsn.of_int li) with _ -> ());
+    s.s_cached.(i) <- None;
+    s.s_end <- li + cut;
+    if s.s_resident then t.resident_payload <- t.resident_payload - (len - cut);
+    t.end_lsn <- Lsn.of_int (li + cut);
     t.io.Io_stats.faults_injected <- t.io.Io_stats.faults_injected + 1
   end
   else t.end_lsn <- t.flushed_lsn;
   t.flushed_lsn <- t.end_lsn;
   t.unflushed_bytes <- 0;
-  if Lsn.(t.last_checkpoint >= t.end_lsn) then
-    t.last_checkpoint <- (match t.checkpoint_lsns with c :: _ -> c | [] -> Lsn.nil)
+  if Lsn.(t.last_checkpoint >= t.end_lsn) then t.last_checkpoint <- newest_checkpoint t;
+  update_resident_gauge t
 
 let repair_tail t =
   (* Recovery's torn-tail detector: validate record CRCs forward from the
      last durable checkpoint (a tear can only live in the crash-time tail,
      which is always above it) and truncate the log at the first record
      that fails.  WAL semantics: nothing after a tear can be trusted, even
-     if its bytes happen to look whole. *)
+     if its bytes happen to look whole.  CRCs are checked in place in the
+     segment blobs — no record is extracted. *)
   let from =
     if Lsn.(t.last_checkpoint > Lsn.nil) then t.last_checkpoint else t.truncated_below
   in
-  let i = ref (lower_bound t from) in
   let scanned = ref 0 in
-  let torn = ref (-1) in
-  while !torn < 0 && !i < t.count do
-    let e = t.entries.(!i) in
-    scanned := !scanned + String.length e.data;
-    if Log_record.check e.data then incr i else torn := !i
+  let torn = ref None in
+  let pos = ref (global_lower t from) in
+  let continue = ref true in
+  while !continue do
+    match !pos with
+    | None -> continue := false
+    | Some (si, i) ->
+        let s = t.segs.(si) in
+        if i >= s.s_n then pos := (if si + 1 < t.seg_hi then Some (si + 1, 0) else None)
+        else begin
+          let len = rec_len s i in
+          scanned := !scanned + len;
+          if Log_record.check_bytes s.s_blob ~pos:(rec_pos s i) ~len then pos := Some (si, i + 1)
+          else begin
+            torn := Some s.s_lsns.(i);
+            continue := false
+          end
+        end
   done;
   charge_seq t !scanned;
-  if !torn < 0 then None
-  else begin
-    let idx = !torn in
-    let torn_lsn = t.entries.(idx).lsn in
-    let dropped = t.count - idx in
-    for j = t.count - 1 downto idx do
-      let e = t.entries.(j) in
-      Hashtbl.remove t.index (Lsn.to_int e.lsn);
-      Lru.Weighted.remove t.record_cache (Lsn.to_int e.lsn);
-      (* The torn record's header may be mangled; [crash] already unindexed
-         it with intact data, so a failed peek here loses nothing. *)
-      (try unindex_record t (Log_record.peek e.data) e.lsn with _ -> ());
-      t.entries.(j) <- (empty_entry ())
-    done;
-    t.count <- idx;
-    t.end_lsn <- torn_lsn;
-    if Lsn.(t.flushed_lsn > torn_lsn) then t.flushed_lsn <- torn_lsn;
-    t.unflushed_bytes <- 0;
-    if Lsn.(t.last_checkpoint >= torn_lsn) then
-      t.last_checkpoint <- (match t.checkpoint_lsns with c :: _ -> c | [] -> Lsn.nil);
-    t.io.Io_stats.corruptions_detected <- t.io.Io_stats.corruptions_detected + 1;
-    Some (torn_lsn, dropped)
-  end
+  match !torn with
+  | None -> None
+  | Some torn_i ->
+      let torn_lsn = Lsn.of_int torn_i in
+      let dropped = ref 0 in
+      (* Newest segments living entirely above the tear are discarded
+         wholesale — indexes freed per segment, not per record. *)
+      while t.seg_hi > t.seg_lo && t.segs.(t.seg_hi - 1).s_base >= torn_i do
+        let s = t.segs.(t.seg_hi - 1) in
+        dropped := !dropped + (s.s_n - s.s_dead);
+        drop_segment t ~counted:false s;
+        t.segs.(t.seg_hi - 1) <- tombstone;
+        t.seg_hi <- t.seg_hi - 1
+      done;
+      (* The straddling segment sheds records one by one. *)
+      while
+        t.seg_hi > t.seg_lo
+        &&
+        let s = t.segs.(t.seg_hi - 1) in
+        s.s_n > s.s_dead && s.s_lsns.(s.s_n - 1) >= torn_i
+      do
+        remove_last t;
+        incr dropped
+      done;
+      t.end_lsn <- torn_lsn;
+      if Lsn.(t.flushed_lsn > torn_lsn) then t.flushed_lsn <- torn_lsn;
+      t.unflushed_bytes <- 0;
+      if Lsn.(t.last_checkpoint >= torn_lsn) then t.last_checkpoint <- newest_checkpoint t;
+      t.io.Io_stats.corruptions_detected <- t.io.Io_stats.corruptions_detected + 1;
+      update_resident_gauge t;
+      Some (torn_lsn, !dropped)

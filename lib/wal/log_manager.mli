@@ -13,7 +13,24 @@
 
     The log manager also maintains the full-page-image directory used to
     jump-start page undo (paper §6.1), and the retention boundary
-    ({!truncate_before}) that implements [SET UNDO_INTERVAL]. *)
+    ({!truncate_before}) that implements [SET UNDO_INTERVAL].
+
+    {2 Segmented storage}
+
+    Physically the log is a sequence of fixed-size {e segments}.  The
+    newest one is the active tail: appends land in its in-RAM buffer.
+    When the tail reaches [segment_bytes] it is {e sealed} (immutable)
+    and {e spilled}: its payload is priced as one sequential write to the
+    log device and stops counting against modeled resident memory —
+    reads of a spilled segment fault blocks back in through the block
+    cache exactly like any other cold read.  All record-level indexes
+    (the sorted record-offset array, the FPI directory, the per-page
+    chain index, the checkpoint list) are segment-local with merged
+    views behind the query API, so retention truncation drops whole
+    sealed segments in O(1) each and frees their indexes wholesale.
+    With retention on, modeled resident memory is bounded by the tail
+    segment plus the retained segments' index overhead, while
+    {!total_appended_bytes} grows without bound. *)
 
 type t
 
@@ -30,6 +47,7 @@ val create :
   ?cache_blocks:int ->
   ?block_bytes:int ->
   ?record_cache_bytes:int ->
+  ?segment_bytes:int ->
   ?fault_plan:Rw_storage.Fault_plan.t ->
   unit ->
   t
@@ -37,8 +55,10 @@ val create :
     log block cache; [record_cache_bytes] (default 4 MiB) budgets the
     decoded-record cache layered above it.  The record cache only skips
     decode CPU work — block-level I/O accounting is identical with or
-    without it.  When a [fault_plan] is attached, {!crash} consults it to
-    decide whether the log tail tears. *)
+    without it.  [segment_bytes] (default 1 MiB, minimum 64) is the size
+    at which the active tail segment seals and spills.  When a
+    [fault_plan] is attached, {!crash} consults it to decide whether the
+    log tail tears. *)
 
 val clock : t -> Rw_storage.Sim_clock.t
 val stats : t -> Rw_storage.Io_stats.t
@@ -171,6 +191,38 @@ val record_count : t -> int
 
 val record_cache_bytes : t -> int
 (** Current decoded-record cache occupancy. *)
+
+(** {2 Segment introspection} *)
+
+val segment_count : t -> int
+(** Live (retained) segments, the active tail included. *)
+
+val segment_size : t -> int
+(** The seal threshold ([segment_bytes] of {!create}). *)
+
+val resident_bytes : t -> int
+(** Modeled RAM held by the log: unspilled segment payload (the active
+    tail) plus the per-segment index overhead of every retained segment.
+    Spilled payloads count zero — their simulated home is the log device,
+    and reading them back is priced through the block cache.  This is the
+    quantity the [log.resident_bytes] gauge tracks; with retention on it
+    plateaus while {!total_appended_bytes} keeps growing. *)
+
+type segment_stats = {
+  ss_live : int;  (** retained segments, active tail included *)
+  ss_sealed : int;  (** lifetime segments sealed *)
+  ss_spilled : int;  (** lifetime segments spilled to media *)
+  ss_loaded : int;  (** cold block loads serving spilled segments *)
+  ss_dropped : int;  (** lifetime segments dropped by retention *)
+  ss_resident_bytes : int;  (** {!resident_bytes} *)
+  ss_payload_bytes : int;  (** unspilled payload bytes *)
+  ss_index_bytes : int;  (** modeled per-segment index overhead *)
+  ss_segment_bytes : int;  (** seal threshold *)
+}
+
+val segment_stats : t -> segment_stats
+(** Lifecycle counters and the resident-memory breakdown — what the
+    [\log] CLI meta-command prints. *)
 
 val crash : t -> unit
 (** Simulate a crash: discard every record that was not durable.  Under a

@@ -326,10 +326,9 @@ let op_kind_of_tag = function
   | 6 -> K_full_image
   | c -> invalid_arg (Printf.sprintf "Log_record.peek: bad op kind %d" c)
 
-let peek s =
+let peek_head s ~p_len =
   let p_txn = Txn_id.of_int64 (Codec.peek_i64 s 0) in
   let p_prev_txn_lsn = Lsn.of_int64 (Codec.peek_i64 s 8) in
-  let p_len = String.length s in
   let plain kind =
     { p_txn; p_prev_txn_lsn; p_kind = kind; p_page = Page_id.nil; p_prev_page_lsn = Lsn.nil; p_len }
   in
@@ -358,6 +357,22 @@ let peek s =
         p_len;
       }
   | c -> invalid_arg (Printf.sprintf "Log_record.peek: bad record kind %d" c)
+
+let peek s = peek_head s ~p_len:(String.length s)
+
+(* Every header field lives in the first 42 bytes (the Clr op tag at
+   offset 41 is the deepest), so peeking a record stored inside a segment
+   blob only copies that prefix — an FPI's page image never moves. *)
+let peek_header_bytes = 42
+
+let peek_bytes b ~pos ~len =
+  peek_head (Bytes.sub_string b pos (min len peek_header_bytes)) ~p_len:len
+
+let check_bytes b ~pos ~len =
+  len >= min_encoded_size
+  &&
+  let stored = Bytes.get_int32_le b (pos + len - 4) in
+  stored = Checksum.crc32 b ~pos ~len:(len - 4)
 
 let is_page_kind = function K_page_op _ | K_clr _ -> true | _ -> false
 

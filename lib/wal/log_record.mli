@@ -140,5 +140,14 @@ val peek : string -> peek
 (** O(1) header extraction from an encoded record; never allocates row or
     page-image payloads.  Raises [Invalid_argument] on corrupt input. *)
 
+val peek_bytes : bytes -> pos:int -> len:int -> peek
+(** {!peek} of the encoded record occupying [b.[pos .. pos+len-1]] — the
+    in-place variant used when records live inside a log-segment blob.
+    Copies only the fixed-size header prefix, never the payload. *)
+
+val check_bytes : bytes -> pos:int -> len:int -> bool
+(** {!check} of the encoded record occupying [b.[pos .. pos+len-1]],
+    without extracting it.  Never raises. *)
+
 val is_page_kind : kind -> bool
 (** Whether the kind is [K_page_op] or [K_clr]. *)

@@ -26,9 +26,24 @@ type figure =
   | Ablation
   | Faults
   | Explain
+  | Segments
 
 let all =
-  [ Fig5; Fig6; Fig7; Fig8; Fig9; Fig10; Fig11; Sec6_3; Sec6_4; Ablation; Faults; Explain ]
+  [
+    Fig5;
+    Fig6;
+    Fig7;
+    Fig8;
+    Fig9;
+    Fig10;
+    Fig11;
+    Sec6_3;
+    Sec6_4;
+    Ablation;
+    Faults;
+    Explain;
+    Segments;
+  ]
 
 let name = function
   | Fig5 -> "fig5"
@@ -43,6 +58,7 @@ let name = function
   | Ablation -> "ablation"
   | Faults -> "faults"
   | Explain -> "explain"
+  | Segments -> "segments"
 
 let of_string s = List.find_opt (fun f -> name f = s) all
 
@@ -63,12 +79,13 @@ type setup = {
 }
 
 let build ?(fpi = 0) ?(media = Media.ssd) ?log_media ?log_cache_blocks ?log_block_bytes
-    ?(group_commit = Some (64 * 1024, 2_000.0)) ?(cfg = Tpcc.default_config) ~history_txns ()
-    =
+    ?log_segment_bytes ?(group_commit = Some (64 * 1024, 2_000.0)) ?(cfg = Tpcc.default_config)
+    ~history_txns () =
   let eng = Engine.create ~media ?log_media () in
   let db =
     Engine.create_database eng ~fpi_frequency:fpi ~pool_capacity:1024
-      ~checkpoint_interval_us:2_000_000.0 ?log_cache_blocks ?log_block_bytes "tpcc"
+      ~checkpoint_interval_us:2_000_000.0 ?log_cache_blocks ?log_block_bytes ?log_segment_bytes
+      "tpcc"
   in
   (* The workload driver runs on the batched commit API: flush once per
      64KiB of log tail or 2ms of simulated waiter age, whichever first. *)
@@ -729,6 +746,52 @@ let explain_costs ~quick () =
     \ with time travelled — never with database size)\n\
      %!"
 
+(* --- segmented log: bounded resident memory under retention --- *)
+
+(* The tentpole claim of the segmented log manager, as a long-run table:
+   with retention on, the log's modeled resident memory (active tail
+   payload + per-segment index overhead, the [log.resident_bytes] gauge)
+   plateaus, while the total appended volume grows linearly without
+   bound.  The PASS line checks the plateau is flat to within two segment
+   sizes over the second half of the run and that total appended bytes
+   end at least 10x the plateau. *)
+let segments_experiment ~quick () =
+  header "segmented log: resident memory vs appended volume (TPC-C, retention on)";
+  let seg_bytes = 128 * 1024 in
+  let s = build ~media:Media.ssd ~log_segment_bytes:seg_bytes ~history_txns:0 () in
+  (* TPC-C batches advance the simulated clock ~30 ms each; a 60 ms undo
+     interval keeps roughly two batches of history live. *)
+  Database.set_retention s.db (Some 60_000.0);
+  let batches = if quick then 10 else 24 in
+  let per_batch = if quick then 150 else 400 in
+  let log = Database.log s.db in
+  Printf.printf "%8s %8s %13s %13s %13s %6s %8s %8s\n" "txns" "sim_s" "appended_kib"
+    "retained_kib" "resident_kib" "live" "spilled" "dropped";
+  let samples = ref [] in
+  for b = 1 to batches do
+    ignore (Tpcc.run_mix s.drv ~txns:per_batch);
+    (* Retention rides on checkpoints. *)
+    ignore (Database.checkpoint s.db);
+    let ss = Log_manager.segment_stats log in
+    let resident = ss.Log_manager.ss_resident_bytes in
+    if 2 * b > batches then samples := resident :: !samples;
+    Printf.printf "%8d %8.2f %13d %13d %13d %6d %8d %8d\n%!" (b * per_batch)
+      (seconds (Engine.now_us s.eng -. s.t_run_start))
+      (Log_manager.total_appended_bytes log / 1024)
+      (Log_manager.retained_bytes log / 1024)
+      (resident / 1024) ss.Log_manager.ss_live ss.Log_manager.ss_spilled
+      ss.Log_manager.ss_dropped
+  done;
+  let total = Log_manager.total_appended_bytes log in
+  let plateau = List.fold_left max 0 !samples in
+  let spread = plateau - List.fold_left min max_int !samples in
+  Printf.printf "\nplateau (max resident, 2nd half): %d KiB  spread: %d KiB  segment: %d KiB\n"
+    (plateau / 1024) (spread / 1024) (seg_bytes / 1024);
+  Printf.printf "total appended: %d KiB = %.1fx plateau\n" (total / 1024)
+    (float_of_int total /. float_of_int (max 1 plateau));
+  Printf.printf "bounded-memory check (spread <= 2 segments && appended >= 10x plateau): %s\n%!"
+    (if spread <= 2 * seg_bytes && total >= 10 * plateau then "PASS" else "FAIL")
+
 let run ?(quick = false) = function
   | Fig5 -> fig56 ~quick ~show:`Space ()
   | Fig6 -> fig56 ~quick ~show:`Throughput ()
@@ -744,5 +807,6 @@ let run ?(quick = false) = function
       ablation_cow ~quick ()
   | Faults -> faults ~quick ()
   | Explain -> explain_costs ~quick ()
+  | Segments -> segments_experiment ~quick ()
 
 let run_all ?(quick = false) () = List.iter (run ~quick) all

@@ -31,6 +31,11 @@ type figure =
       (** per-query rewind cost (pages rewound, records undone, log bytes
           read) vs time back — the paper's proportional-cost claim as an
           EXPLAIN table *)
+  | Segments
+      (** segmented log storage long-run: with retention on, modeled
+          resident log memory ([log.resident_bytes]) plateaus while total
+          appended bytes grow linearly — the bounded-memory claim of the
+          sealed-segment log manager *)
 
 val all : figure list
 val of_string : string -> figure option

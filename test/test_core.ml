@@ -36,10 +36,10 @@ let cols =
 
 type env = { clock : Sim_clock.t; log : Log_manager.t; txns : Txn_manager.t; ctx : Access_ctx.t; pool : Buffer_pool.t }
 
-let mk_env ?fpi_frequency () =
+let mk_env ?fpi_frequency ?segment_bytes () =
   let clock = Sim_clock.create () in
   let disk = Disk.create ~clock ~media:Media.ram () in
-  let log = Log_manager.create ~clock ~media:Media.ram () in
+  let log = Log_manager.create ~clock ~media:Media.ram ?segment_bytes () in
   let pool =
     Buffer_pool.create ~capacity:64 ~source:(Buffer_pool.of_disk disk)
       ~wal_flush:(fun lsn -> Log_manager.flush log ~upto:lsn)
@@ -661,6 +661,76 @@ let test_no_retention_keeps_everything () =
   check "no cutoff without interval" true (Database.enforce_retention db = None);
   check_int "log intact" 1 (Lsn.to_int (Log_manager.first_lsn (Database.log db)))
 
+(* Retention / index interplay on a segmented log: after [Retention.enforce]
+   drops whole sealed segments, the merged index views must surface nothing
+   below the new boundary, and rewinds to points inside the window must be
+   byte-identical to the same rewinds before truncation. *)
+let test_retention_segmented_indexes () =
+  let env = mk_env ~fpi_frequency:10 ~segment_bytes:512 () in
+  let pid = Page_id.of_int 0 in
+  let rng = Prng.create 99 in
+  let txn = Txn_manager.begin_txn env.txns in
+  Access_ctx.modify env.ctx txn pid (Log_record.Format { typ = Page.Heap; level = 0 });
+  let nrows = ref 0 in
+  let as_ofs = ref [] in
+  for i = 1 to 120 do
+    let row = Prng.alpha_string rng (1 + Prng.int rng 40) in
+    Access_ctx.modify env.ctx txn pid
+      (Log_record.Insert_row { slot = Prng.int rng (!nrows + 1); row });
+    incr nrows;
+    as_ofs := Page.lsn (Bytes.of_string (page_image env pid)) :: !as_ofs;
+    if i mod 15 = 0 then begin
+      Sim_clock.advance_us env.clock 1_000_000.0;
+      let l =
+        Log_manager.append env.log
+          (Log_record.make
+             (Log_record.Checkpoint
+                { wall_us = Sim_clock.now_us env.clock; active_txns = []; dirty_pages = [] }))
+      in
+      Log_manager.set_last_checkpoint env.log l
+    end
+  done;
+  Txn_manager.commit env.txns txn ~wall_us:(Sim_clock.now_us env.clock);
+  check "history spans several segments" true (Log_manager.segment_count env.log > 4);
+  let current = page_image env pid in
+  let ret = Retention.create ~retention_us:3_000_000.0 () in
+  let now = Sim_clock.now_us env.clock in
+  let cut =
+    match Retention.cutoff ret ~log:env.log ~now_us:now with
+    | Some l -> l
+    | None -> Alcotest.fail "expected a retention cutoff"
+  in
+  let inside = List.filter (fun l -> Lsn.(l >= cut)) !as_ofs in
+  check "several rewind points stay inside the window" true (List.length inside > 10);
+  let rewind as_of =
+    let page = Bytes.of_string current in
+    ignore (Page_undo.prepare_page_as_of ~log:env.log ~page ~as_of);
+    Bytes.to_string page
+  in
+  let before_imgs = List.map rewind inside in
+  (match Retention.enforce ret ~log:env.log ~now_us:now with
+  | Some l -> check "enforce used the cutoff" true (Lsn.equal l cut)
+  | None -> Alcotest.fail "expected truncation");
+  check "first_lsn is the boundary" true (Lsn.equal (Log_manager.first_lsn env.log) cut);
+  let top = Log_manager.end_lsn env.log in
+  Array.iter
+    (fun l -> check "chain_segment respects boundary" true Lsn.(l >= cut))
+    (Log_manager.chain_segment env.log pid ~from:top ~down_to:Lsn.nil);
+  List.iter
+    (fun after ->
+      match Log_manager.earliest_fpi_after env.log pid ~after with
+      | Some l -> check "earliest_fpi_after respects boundary" true Lsn.(l >= cut)
+      | None -> ())
+    (Lsn.nil :: inside);
+  List.iter
+    (fun l -> check "checkpoints_before respects boundary" true Lsn.(l >= cut))
+    (Log_manager.checkpoints_before env.log top);
+  List.iter2
+    (fun as_of before_img ->
+      if not (String.equal (rewind as_of) before_img) then
+        Alcotest.failf "rewind to lsn %d changed after truncation" (Lsn.to_int as_of))
+    inside before_imgs
+
 let () =
   Alcotest.run "core"
     [
@@ -706,5 +776,6 @@ let () =
           Alcotest.test_case "enforcement" `Quick test_retention_enforcement;
           Alcotest.test_case "rides on checkpoints" `Quick test_retention_rides_on_checkpoints;
           Alcotest.test_case "no interval" `Quick test_no_retention_keeps_everything;
+          Alcotest.test_case "segmented index boundary" `Quick test_retention_segmented_indexes;
         ] );
     ]

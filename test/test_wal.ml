@@ -17,9 +17,11 @@ module Log_manager = Rw_wal.Log_manager
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let mk_log ?(media = Media.ram) ?cache_blocks () =
+let mk_log ?(media = Media.ram) ?cache_blocks ?block_bytes ?record_cache_bytes ?segment_bytes () =
   let clock = Sim_clock.create () in
-  (clock, Log_manager.create ~clock ~media ?cache_blocks ())
+  ( clock,
+    Log_manager.create ~clock ~media ?cache_blocks ?block_bytes ?record_cache_bytes
+      ?segment_bytes () )
 
 (* --- codec --- *)
 
@@ -448,8 +450,8 @@ let test_chain_segment () =
 (* Truncation and crash must leave the FPI / chain / checkpoint indexes in
    exactly the state a from-scratch rebuild of the surviving records
    produces. *)
-let test_indexes_agree_after_truncate_and_crash () =
-  let _, log = mk_log () in
+let indexes_agree_after_truncate_and_crash ?segment_bytes () =
+  let _, log = mk_log ?segment_bytes () in
   let image = String.make Page.page_size 'i' in
   let lsns = ref [] in
   for i = 1 to 40 do
@@ -475,7 +477,7 @@ let test_indexes_agree_after_truncate_and_crash () =
   done;
   Log_manager.crash log;
   let clock2 = Sim_clock.create () in
-  let log2 = Log_manager.create ~clock:clock2 ~media:Media.ram () in
+  let log2 = Log_manager.create ~clock:clock2 ~media:Media.ram ?segment_bytes () in
   Log_manager.restore_entries log2 (Log_manager.dump_entries log);
   let top = Log_manager.end_lsn log in
   check "same end lsn" true (Lsn.equal top (Log_manager.end_lsn log2));
@@ -492,6 +494,116 @@ let test_indexes_agree_after_truncate_and_crash () =
   done;
   check "checkpoint index agrees with rebuild" true
     (Log_manager.checkpoints_before log top = Log_manager.checkpoints_before log2 top)
+
+let test_indexes_agree_after_truncate_and_crash () = indexes_agree_after_truncate_and_crash ()
+
+(* The same invariant with 256-byte segments, so truncation drops whole
+   segments, the crash rolls the tail back across segment boundaries, and
+   the restore re-seals as it replays. *)
+let test_indexes_agree_tiny_segments () =
+  indexes_agree_after_truncate_and_crash ~segment_bytes:256 ()
+
+(* --- segmented storage --- *)
+
+(* Seal/spill lifecycle: appends land in a RAM tail, sealing prices one
+   sequential write and evicts the payload from modeled residency, and
+   reads of spilled history still work (and count as cold loads). *)
+let test_segment_lifecycle () =
+  (* Starved caches (two 256 B blocks, a 64 B record budget) so reads of
+     spilled history actually fault blocks back in instead of being served
+     from the decoded records the appends seeded. *)
+  let clock, log =
+    mk_log ~media:Media.ssd ~cache_blocks:2 ~block_bytes:256 ~record_cache_bytes:64
+      ~segment_bytes:256 ()
+  in
+  let r = page_op (Log_record.Insert_row { slot = 0; row = String.make 40 'x' }) in
+  let t0 = Sim_clock.now_us clock in
+  let lsns = Array.init 64 (fun _ -> Log_manager.append log r) in
+  let st = Log_manager.segment_stats log in
+  check "history spans several segments" true (st.Log_manager.ss_live > 4);
+  check_int "segment_count agrees" (Log_manager.segment_count log) st.Log_manager.ss_live;
+  check "segments sealed" true (st.Log_manager.ss_sealed > 0);
+  check_int "sealed segments spilled" st.Log_manager.ss_sealed st.Log_manager.ss_spilled;
+  check "sealing priced as writes" true (Sim_clock.now_us clock > t0);
+  check_int "seal threshold" 256 (Log_manager.segment_size log);
+  (* Spilled payload left modeled RAM: residency is the tail plus index
+     overhead, far below the appended volume's payload. *)
+  check "resident excludes spilled payload" true
+    (st.Log_manager.ss_payload_bytes < Log_manager.total_appended_bytes log);
+  check_int "resident = payload + indexes"
+    (st.Log_manager.ss_payload_bytes + st.Log_manager.ss_index_bytes)
+    (Log_manager.resident_bytes log);
+  Log_manager.flush_all log;
+  (* Every record reads back across segment boundaries, single and batched. *)
+  Array.iter (fun l -> check "read crosses segments" true (Log_manager.read log l = r)) lsns;
+  let batch = Log_manager.read_segment log (Array.copy lsns) in
+  check_int "batched read count" (Array.length lsns) (Array.length batch);
+  Array.iter (fun r' -> check "batched read crosses segments" true (r' = r)) batch;
+  let n = ref 0 in
+  Log_manager.iter_range log ~from:lsns.(0) ~upto:(Log_manager.end_lsn log) (fun _ _ -> incr n);
+  check_int "scan crosses segments" (Array.length lsns) !n;
+  check "cold reads of spilled segments counted" true
+    ((Log_manager.segment_stats log).Log_manager.ss_loaded > 0)
+
+(* Regression: append must stay amortized O(1).  The pre-segmentation log
+   rebuilt the LSN hashtable on every buffer growth, so a 4x record count
+   cost ~16x the time; per-segment sorted offset arrays grow by doubling
+   with no rebuild.  Wall-clock bound is deliberately loose (12x for 4x
+   work, plus absolute slack) to stay robust against timer noise. *)
+let append_wall_time n =
+  let _, log = mk_log ~media:Media.ram () in
+  let r = page_op (Log_record.Insert_row { slot = 0; row = String.make 64 'r' }) in
+  let t0 = Sys.time () in
+  for _ = 1 to n do
+    ignore (Log_manager.append log r)
+  done;
+  Sys.time () -. t0
+
+let test_append_amortized () =
+  let best f = min (f ()) (f ()) in
+  let t_small = best (fun () -> append_wall_time 50_000) in
+  let t_large = best (fun () -> append_wall_time 200_000) in
+  if t_large > (t_small *. 12.0) +. 0.05 then
+    Alcotest.failf "append not amortized O(1): 50k took %.3fs, 200k took %.3fs" t_small t_large
+
+(* Truncation must invalidate every cache layer: a dropped LSN raises
+   Log_truncated even when its decoded record and its blocks were warm,
+   and the record cache releases the dropped entries' budget. *)
+let test_truncate_invalidates_caches () =
+  let _, log = mk_log ~segment_bytes:128 () in
+  let r = Log_record.make Log_record.Begin in
+  let lsns = List.init 20 (fun _ -> Log_manager.append log r) in
+  Log_manager.flush_all log;
+  List.iter (fun l -> ignore (Log_manager.read log l)) lsns;
+  let warm = Log_manager.record_cache_bytes log in
+  let cut = List.nth lsns 10 in
+  Log_manager.truncate_before log cut;
+  check "dropped entries leave the record cache" true
+    (Log_manager.record_cache_bytes log < warm);
+  List.iteri
+    (fun i l ->
+      if i < 10 then
+        Alcotest.check_raises "cached dropped lsn raises" (Log_manager.Log_truncated l)
+          (fun () -> ignore (Log_manager.read log l))
+      else check "retained lsn still reads" true (Log_manager.read log l = r))
+    lsns
+
+(* After a crash rolls the tail back, re-appended records reuse the same
+   LSNs; reads must return the new records, never stale cached ones. *)
+let test_crash_invalidates_caches () =
+  let _, log = mk_log ~segment_bytes:128 () in
+  let old_r = Log_record.make ~txn:(Txn_id.of_int 7) Log_record.Begin in
+  let l0 = Log_manager.append log old_r in
+  ignore (Log_manager.read log l0);
+  (* warm the caches *)
+  Log_manager.crash log;
+  check "unflushed record gone" false (Log_manager.mem log l0);
+  let new_r = Log_record.make ~txn:(Txn_id.of_int 8) Log_record.Begin in
+  let l0' = Log_manager.append log new_r in
+  check "crash recycles the lsn" true (Lsn.equal l0 l0');
+  check "read returns the new record" true (Log_manager.read log l0' = new_r);
+  check "peek returns the new record" true
+    ((Log_manager.peek_record log l0').Log_record.p_txn = Txn_id.of_int 8)
 
 (* --- decoded-record cache --- *)
 
@@ -572,6 +684,12 @@ let () =
           Alcotest.test_case "mid-record lsn rejected" `Quick test_read_non_boundary;
           Alcotest.test_case "byte accounting" `Quick test_total_bytes_accounting;
           Alcotest.test_case "chain segments" `Quick test_chain_segment;
+          Alcotest.test_case "segment lifecycle" `Quick test_segment_lifecycle;
+          Alcotest.test_case "append amortized O(1)" `Quick test_append_amortized;
+          Alcotest.test_case "truncate invalidates caches" `Quick test_truncate_invalidates_caches;
+          Alcotest.test_case "crash invalidates caches" `Quick test_crash_invalidates_caches;
+          Alcotest.test_case "indexes agree with rebuild (tiny segments)" `Quick
+            test_indexes_agree_tiny_segments;
           Alcotest.test_case "indexes agree with rebuild" `Quick
             test_indexes_agree_after_truncate_and_crash;
           Alcotest.test_case "record cache counters" `Quick test_record_cache_counters;

@@ -55,6 +55,7 @@ bench_value() {
   grep -F "\"$1\"" BENCH_micro.json | sed 's/.*: *//; s/,$//'
 }
 base_prepare=$(bench_value "core-primitives/prepare_page_as_of (400-op rewind)" || true)
+base_prepare_cold=$(bench_value "core-primitives/prepare_page_as_of (cold segment)" || true)
 base_commit=$(bench_value "core-primitives/group commit (8 txns/flush)" || true)
 
 dune exec bench/main.exe -- all --quick --json >/dev/null
@@ -84,6 +85,7 @@ check_regression() {
   }'
 }
 check_regression "core-primitives/prepare_page_as_of (400-op rewind)" "$base_prepare"
+check_regression "core-primitives/prepare_page_as_of (cold segment)" "$base_prepare_cold"
 check_regression "core-primitives/group commit (8 txns/flush)" "$base_commit"
 
 echo "== fault-injection soak (fixed seeds, random crash points) =="
