@@ -272,6 +272,52 @@ module Micro = struct
            let copy = Page.copy page in
            ignore (Rw_core.Page_undo.prepare_page_as_of ~log ~page:copy ~as_of:(Lsn.of_int 1))))
 
+  (* A second overlapping snapshot at the same SplitLSN: the 400-op chain
+     rewind above collapses to a prepared-page cache probe plus one page
+     copy.  ci.sh guards this row; the gap to the full-rewind row is what
+     the shared cache buys concurrent readers (ISSUE 6 / E8). *)
+  let test_prepare_page_shared =
+    let log, page = prepare_env () in
+    let cache = Rw_core.Prepared_cache.create ~log () in
+    let image = Page.copy page in
+    ignore (Rw_core.Page_undo.prepare_page_as_of ~log ~page:image ~as_of:(Lsn.of_int 1));
+    Rw_core.Prepared_cache.add cache (Page_id.of_int 0) ~as_of:(Lsn.of_int 1) image;
+    Test.make ~name:"prepare_page_as_of (shared-cache hit)"
+      (Staged.stage (fun () ->
+           match Rw_core.Prepared_cache.find cache (Page_id.of_int 0) ~split:(Lsn.of_int 1) with
+           | Rw_core.Prepared_cache.Exact _ -> ()
+           | _ -> assert false))
+
+  (* One writer transaction at the E8 operating point: a small TPC-C
+     database with 8 as-of reader sessions open (each pinning its own
+     snapshot at a staggered SplitLSN).  Prices what one writer txn costs
+     next to a reader fleet — the numerator of the E8 tpmC curve. *)
+  let test_e8_writer_txn =
+    let module Tpcc = Rw_workload.Tpcc in
+    let module Engine = Rw_engine.Engine in
+    let module Database = Rw_engine.Database in
+    let module Session_manager = Rw_session.Session_manager in
+    let eng = Engine.create ~media:Media.ram () in
+    let db = Engine.create_database eng ~pool_capacity:1024 "tpcc" in
+    let cfg = Tpcc.small_config in
+    Tpcc.load db cfg;
+    ignore (Database.checkpoint db);
+    let drv = Tpcc.create db cfg in
+    let t0 = Engine.now_us eng in
+    ignore (Tpcc.run_mix drv ~txns:150);
+    let t1 = Engine.now_us eng in
+    let sm = Session_manager.create db in
+    for i = 0 to 7 do
+      let frac = 0.10 +. (0.50 *. float_of_int i /. 7.0) in
+      ignore
+        (Session_manager.open_reader sm
+           ~name:(Printf.sprintf "bench_rd_%d" i)
+           ~wall_us:(t1 -. (frac *. (t1 -. t0)))
+           ~step:(fun _ -> ()))
+    done;
+    Test.make ~name:"e8 writer txn (8 readers)"
+      (Staged.stage (fun () -> ignore (Tpcc.run_mix drv ~txns:1)))
+
   (* The record-at-a-time reference walk over the same history: the gap
      between this row and the one above is what the chain index + decoded
      record cache buy. *)
@@ -303,7 +349,9 @@ module Micro = struct
         test_record_codec;
         test_prepare_page;
         test_prepare_page_cold;
+        test_prepare_page_shared;
         test_prepare_page_walk;
+        test_e8_writer_txn;
         test_page_repair;
         test_group_commit ~batch:1;
         test_group_commit ~batch:8;
@@ -387,7 +435,7 @@ let () =
               | Some fig -> Experiments.run ~quick fig
               | None ->
                   Printf.eprintf
-                    "unknown experiment %S (expected: fig5..fig11, sec6_3, sec6_4, ablation, \
+                    "unknown experiment %S (expected: fig5..fig11, sec6_3, sec6_4, e8, ablation, \
                      micro, all)\n"
                     arg;
                   exit 2))

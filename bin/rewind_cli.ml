@@ -118,6 +118,41 @@ let meta_command session eng line =
           | None ->
               Printf.printf "current database vanished\n%!";
               `Continue))
+  | [ "\\sessions" ] ->
+      (* One row per attached database: primaries are writer sessions, as-of
+         snapshots are reader sessions pinned to their SplitLSN.  Primaries
+         also report their shared prepared-page cache. *)
+      List.iter
+        (fun name ->
+          match Engine.find_database eng name with
+          | None -> ()
+          | Some db -> (
+              match Rw_engine.Database.snapshot_handle db with
+              | Some snap ->
+                  Printf.printf
+                    "%-16s reader  split-lsn %-8d pages materialised %-6d side-file hits %d\n"
+                    name
+                    (Rw_storage.Lsn.to_int (Rw_core.As_of_snapshot.split_lsn snap))
+                    (Rw_core.As_of_snapshot.pages_materialised snap)
+                    (Rw_core.As_of_snapshot.side_file_hits snap)
+              | None ->
+                  let cache = Rw_engine.Database.prepared_cache db in
+                  Printf.printf "%-16s writer  end-lsn   %-8d active txns %d\n" name
+                    (Rw_storage.Lsn.to_int
+                       (Rw_wal.Log_manager.end_lsn (Rw_engine.Database.log db)))
+                    (Rw_txn.Txn_manager.active_count (Rw_engine.Database.txn_manager db));
+                  Printf.printf
+                    "%-16s         prepared-page cache: %d entries, %d hits (%d delta), %d \
+                     misses, %d invalidated, hit rate %.0f%%\n"
+                    "" (Rw_core.Prepared_cache.entries cache)
+                    (Rw_core.Prepared_cache.hits cache)
+                    (Rw_core.Prepared_cache.delta_hits cache)
+                    (Rw_core.Prepared_cache.misses cache)
+                    (Rw_core.Prepared_cache.invalidations cache)
+                    (Rw_core.Prepared_cache.hit_rate cache *. 100.0)))
+        (Engine.database_names eng);
+      Printf.printf "%!";
+      `Continue
   | [ "\\faults" ] -> (
       match Executor.current_database session with
       | None ->
@@ -200,6 +235,7 @@ let meta_command session eng line =
         \  \\load <path>       load a previously saved database\n\
         \  \\iostats           I/O counters incl. log flush coalescing\n\
         \  \\log               log segment lifecycle and resident-memory stats\n\
+        \  \\sessions          writer/reader sessions and the prepared-page cache\n\
         \  \\faults            fault-injection counters and quarantined pages\n\
         \  \\metrics [json]    engine metrics registry snapshot\n\
         \  \\trace on|off|status|clear|dump <path>\n\

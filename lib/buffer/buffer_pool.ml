@@ -11,6 +11,9 @@ type source = {
   write : Page_id.t -> Page.t -> unit;
   write_seq : (Page_id.t -> Page.t -> unit) option;
       (* sequential continuation of a write run: no seek, transfer only *)
+  read_cached : (Page_id.t -> Page.t option) option;
+      (* zero-cost peek consulted on a pool miss before the priced [read];
+         snapshot views wire this to the shared prepared-page cache *)
 }
 
 type frame = {
@@ -54,6 +57,7 @@ let of_disk disk =
         (fun pid p ->
           Page.seal p;
           Disk.write_page_seq_retrying disk pid p);
+    read_cached = None;
   }
 
 let create ~capacity ~source ?(wal_flush = fun _ -> ()) () =
@@ -120,7 +124,11 @@ let fetch t pid =
         Trace.instant ~cat:"buf"
           ~args:[ ("page", Trace.Int (Page_id.to_int pid)) ]
           "buf.fetch_miss";
-      let page = t.source.read pid in
+      let page =
+        match t.source.read_cached with
+        | Some peek -> ( match peek pid with Some p -> p | None -> t.source.read pid)
+        | None -> t.source.read pid
+      in
       let f =
         {
           id = pid;

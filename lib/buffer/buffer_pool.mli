@@ -17,6 +17,13 @@ type source = {
       (** Sequential continuation of a write run ({!flush_all} uses it for
           every page of a contiguous run after the first): priced as pure
           transfer, no seek.  [None] falls back to {!field-write}. *)
+  read_cached : (Rw_storage.Page_id.t -> Rw_storage.Page.t option) option;
+      (** Zero-cost peek consulted on a pool miss {e before} the priced
+          {!field-read}.  Snapshot views wire this to exact hits in the
+          shared prepared-page cache, so re-fetching an evicted page
+          another snapshot has already rewound costs nothing; [Some page]
+          must be byte-identical to what {!field-read} would return.
+          [None] (the common case) always falls through. *)
 }
 
 type t

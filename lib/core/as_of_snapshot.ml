@@ -3,6 +3,7 @@ module Page = Rw_storage.Page
 module Page_id = Rw_storage.Page_id
 module Disk = Rw_storage.Disk
 module Sparse_file = Rw_storage.Sparse_file
+module Slotted_page = Rw_storage.Slotted_page
 module Sim_clock = Rw_storage.Sim_clock
 module Media = Rw_storage.Media
 module Log_manager = Rw_wal.Log_manager
@@ -38,6 +39,7 @@ type t = {
   in_flight_txns : int;
   undo_ops : int;
   tally : tally;
+  shared : Prepared_cache.t option;
 }
 
 let name t = t.name
@@ -70,19 +72,44 @@ let record_rewind tally pid (r : Page_undo.result) =
   tally.t_rewind_count <- tally.t_rewind_count + 1;
   Obs.incr Probes.snapshot_pages_materialized
 
-(* §5.3 read protocol. *)
-let read_as_of ~tally ~sparse ~primary_disk ~log ~split pid =
+let no_rewind = { Page_undo.ops_undone = 0; log_records_read = 0; used_fpi = false }
+
+(* §5.3 read protocol, extended with the shared prepared-page cache: on a
+   side-file miss, an exact cached image skips the rewind entirely and a
+   newer cached image is delta-rewound over only the chain records between
+   the two SplitLSNs.  Freshly rewound images are published back to the
+   cache *before* any snapshot-local mutation (loser undo) touches them —
+   the cache holds pure rewind results only. *)
+let read_as_of ~tally ~shared ~sparse ~primary_disk ~log ~split pid =
   match Sparse_file.read sparse pid with
   | Some page ->
       tally.t_side_hits <- tally.t_side_hits + 1;
       Obs.incr Probes.snapshot_side_hits;
       page
   | None ->
-      let page = Disk.read_page primary_disk pid in
-      let r = Page_undo.prepare_page_as_of ~log ~page ~as_of:split in
-      record_rewind tally (Page.id page) r;
-      Sparse_file.write sparse pid page;
-      page
+      let finish page r =
+        record_rewind tally pid r;
+        Sparse_file.write sparse pid page;
+        page
+      in
+      let cold () =
+        let page = Disk.read_page primary_disk pid in
+        let r = Page_undo.prepare_page_as_of ~log ~page ~as_of:split in
+        (match shared with
+        | Some cache -> Prepared_cache.add cache pid ~as_of:split page
+        | None -> ());
+        finish page r
+      in
+      (match shared with
+      | None -> cold ()
+      | Some cache -> (
+          match Prepared_cache.find cache pid ~split with
+          | Prepared_cache.Exact page -> finish page no_rewind
+          | Prepared_cache.Newer page ->
+              let r = Page_undo.prepare_page_as_of ~log ~page ~as_of:split in
+              Prepared_cache.add cache pid ~as_of:split page;
+              finish page r
+          | Prepared_cache.Miss -> cold ()))
 
 (* Batched materialization: read the primary images of every page first,
    plan the union of their undo chains from the chain index, prefetch those
@@ -90,13 +117,30 @@ let read_as_of ~tally ~sparse ~primary_disk ~log ~split pid =
    reads into one sorted pass with sequential runs — then rewind each page.
    The per-page rewind still charges its reads through the block cache;
    the prefetch is what makes most of them hits. *)
-let materialize_pages ~tally ~sparse ~primary_disk ~log ~split pids =
+let materialize_pages ~tally ~shared ~sparse ~primary_disk ~log ~split pids =
   let ts = if Trace.on () then Trace.now () else 0.0 in
   let todo =
     List.sort_uniq Page_id.compare pids
     |> List.filter (fun pid -> not (Sparse_file.mem sparse pid))
   in
-  let pages = List.map (fun pid -> Disk.read_page primary_disk pid) todo in
+  (* Shared-cache pass first: exact images go straight to the side file
+     (no chain to plan), newer images enter the batch needing only their
+     delta chains, and misses start from the primary image. *)
+  let pages =
+    List.filter_map
+      (fun pid ->
+        match shared with
+        | None -> Some (Disk.read_page primary_disk pid)
+        | Some cache -> (
+            match Prepared_cache.find cache pid ~split with
+            | Prepared_cache.Exact page ->
+                record_rewind tally pid no_rewind;
+                Sparse_file.write sparse pid page;
+                None
+            | Prepared_cache.Newer page -> Some page
+            | Prepared_cache.Miss -> Some (Disk.read_page primary_disk pid)))
+      todo
+  in
   let chain_lsns acc page =
     let pid = Page.id page in
     let top = Page.lsn page in
@@ -121,20 +165,23 @@ let materialize_pages ~tally ~sparse ~primary_disk ~log ~split pids =
     (fun page ->
       let r = Page_undo.prepare_page_as_of ~log ~page ~as_of:split in
       record_rewind tally (Page.id page) r;
+      (match shared with
+      | Some cache -> Prepared_cache.add cache (Page.id page) ~as_of:split page
+      | None -> ());
       Sparse_file.write sparse (Page.id page) page)
     pages;
   if Trace.on () then
     Trace.complete ~cat:"snapshot" ~ts
-      ~args:[ ("pages", Trace.Int (List.length pages)) ]
+      ~args:[ ("pages", Trace.Int (List.length todo)) ]
       "snapshot.materialize_batch";
-  List.length pages
+  List.length todo
 
 let materialize_batch t pids =
-  materialize_pages ~tally:t.tally ~sparse:t.sparse ~primary_disk:t.primary_disk ~log:t.log
-    ~split:t.split_lsn pids
+  materialize_pages ~tally:t.tally ~shared:t.shared ~sparse:t.sparse ~primary_disk:t.primary_disk
+    ~log:t.log ~split:t.split_lsn pids
 
 let create ~name ~wall_us ~log ~primary_pool ~primary_disk ~txns ~clock ~media
-    ?(pool_capacity = 256) () =
+    ?(pool_capacity = 256) ?shared () =
   let t_start = Sim_clock.now_us clock in
   let trace_ts = if Trace.on () then Trace.now () else 0.0 in
   let tally = { t_side_hits = 0; t_rewinds = []; t_rewind_count = 0 } in
@@ -155,12 +202,29 @@ let create ~name ~wall_us ~log ~primary_pool ~primary_disk ~txns ~clock ~media
     else split.Split_lsn.base_checkpoint
   in
   let analysis = Recovery.analyze ~log ~start:analysis_start ~upto:split_lsn in
+  (* Pages mutated by the loser-undo pass below: their side-file copies
+     diverge from the pure rewind images, so the pool's zero-cost cache
+     peek must never serve them from the shared cache. *)
+  let undone = Hashtbl.create 16 in
   let source =
     {
       Buffer_pool.read =
-        (fun pid -> read_as_of ~tally ~sparse ~primary_disk ~log ~split:split_lsn pid);
+        (fun pid -> read_as_of ~tally ~shared ~sparse ~primary_disk ~log ~split:split_lsn pid);
       Buffer_pool.write = (fun pid page -> Sparse_file.write sparse pid page);
       Buffer_pool.write_seq = None;
+      Buffer_pool.read_cached =
+        (match shared with
+        | None -> None
+        | Some cache ->
+            Some
+              (fun pid ->
+                (* Pages already materialised stay side-file-served (§5.3):
+                   the side file is the authority once a page has been
+                   rewound (it may carry loser-undo edits), so the peek only
+                   accelerates pages this snapshot never touched. *)
+                if Hashtbl.mem undone (Page_id.to_int pid) || Sparse_file.mem sparse pid
+                then None
+                else Prepared_cache.find_exact cache pid ~split:split_lsn));
     }
   in
   let pool = Buffer_pool.create ~capacity:pool_capacity ~source () in
@@ -173,10 +237,11 @@ let create ~name ~wall_us ~log ~primary_pool ~primary_disk ~txns ~clock ~media
      before the undo walk starts: their chains are fetched in one sorted
      pass instead of record-at-a-time as undo stumbles onto each page. *)
   ignore
-    (materialize_pages ~tally ~sparse ~primary_disk ~log ~split:split_lsn
+    (materialize_pages ~tally ~shared ~sparse ~primary_disk ~log ~split:split_lsn
        (Recovery.loser_pages analysis));
   let apply pid f =
-    let page = read_as_of ~tally ~sparse ~primary_disk ~log ~split:split_lsn pid in
+    Hashtbl.replace undone (Page_id.to_int pid) ();
+    let page = read_as_of ~tally ~shared ~sparse ~primary_disk ~log ~split:split_lsn pid in
     (match f page with Some lsn -> Page.set_lsn page lsn | None -> ());
     Sparse_file.write sparse pid page
   in
@@ -209,4 +274,32 @@ let create ~name ~wall_us ~log ~primary_pool ~primary_disk ~txns ~clock ~media
     in_flight_txns = in_flight;
     undo_ops;
     tally;
+    shared;
   }
+
+let shared_cache t = t.shared
+let materialized_page_ids t = Sparse_file.page_ids t.sparse
+
+(* Canonical image of the page's logical state.  Raw page bytes are NOT a
+   function of logical content: slotted-page compaction is unlogged
+   physical reorganisation, so two rewinds to the same SplitLSN that
+   started from different primary states can differ in [data_low],
+   [garbage], row placement and the flush-time checksum while holding
+   identical rows.  The canonical form keeps exactly what the log
+   determines — the logical header fields and every slot's row — and is
+   therefore byte-equal across any two snapshots at the same SplitLSN. *)
+let page_string t pid =
+  let page =
+    read_as_of ~tally:t.tally ~shared:t.shared ~sparse:t.sparse ~primary_disk:t.primary_disk
+      ~log:t.log ~split:t.split_lsn pid
+  in
+  let b = Buffer.create Page.page_size in
+  (* page_lsn, page_id, page_type, level, slot_count: offsets 0..19. *)
+  Buffer.add_string b (Bytes.sub_string page 0 20);
+  (* skip data_low/garbage (20..23); prev/next/special: offsets 24..47;
+     skip checksum + reserved. *)
+  Buffer.add_string b (Bytes.sub_string page 24 24);
+  Slotted_page.iter page (fun i row ->
+      Buffer.add_string b (Printf.sprintf "|%d:%d:" i (String.length row));
+      Buffer.add_string b row);
+  Buffer.contents b

@@ -40,10 +40,18 @@ val create :
   clock:Rw_storage.Sim_clock.t ->
   media:Rw_storage.Media.t ->
   ?pool_capacity:int ->
+  ?shared:Prepared_cache.t ->
   unit ->
   t
 (** Raises {!Split_lsn.Out_of_retention} when [wall_us] precedes the
-    retained log. *)
+    retained log.
+
+    When [shared] is given, page rewinds consult and feed the shared
+    prepared-page cache: an exact image for this snapshot's SplitLSN skips
+    the chain walk entirely, a newer image is delta-rewound over only the
+    intervening chain records, and every freshly rewound page is published
+    back (before any loser undo mutates the side-file copy, so the cache
+    only ever holds pure rewind results). *)
 
 val name : t -> string
 val split_lsn : t -> Rw_storage.Lsn.t
@@ -78,6 +86,21 @@ val materialize_batch : t -> Rw_storage.Page_id.t list -> int
 
 val pages_materialised : t -> int
 (** Pages currently cached in the sparse file. *)
+
+val materialized_page_ids : t -> Rw_storage.Page_id.t list
+(** Ids of the pages currently materialised in the sparse side file. *)
+
+val page_string : t -> Rw_storage.Page_id.t -> string
+(** Canonical image of the page in this snapshot's view, materialising it
+    through the §5.3 protocol if needed: the logical header fields plus
+    every slot's row, excluding physical-layout artifacts ([data_low],
+    [garbage], row placement, flush-time checksum) that unlogged
+    slotted-page compaction makes path-dependent.  Two snapshots at the
+    same SplitLSN must return identical strings for every page — the E8
+    self-check and the interleaving tests compare exactly this. *)
+
+val shared_cache : t -> Prepared_cache.t option
+(** The shared prepared-page cache this snapshot reads through, if any. *)
 
 val sparse_bytes : t -> int
 

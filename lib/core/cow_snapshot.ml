@@ -59,6 +59,7 @@ let create ~name ~ctx ~primary_pool ~primary_disk ~txns ~log ~clock ~media
           | None -> Disk.read_page primary_disk pid);
       Buffer_pool.write = (fun pid page -> Sparse_file.write sparse pid page);
       Buffer_pool.write_seq = None;
+      Buffer_pool.read_cached = None;
     }
   in
   let pool = Buffer_pool.create ~capacity:pool_capacity ~source () in

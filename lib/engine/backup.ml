@@ -101,6 +101,7 @@ let restore_as_of t ~from ~wall_us =
           (fun pid page ->
             Page.seal page;
             Disk.write_page_seq disk pid page);
+      Buffer_pool.read_cached = None;
     }
   in
   let pool =

@@ -45,6 +45,9 @@ type t = {
   mutable recovery_stats : Recovery.stats option;
   pool_capacity : int;
   quarantine : Page_repair.Quarantine.t;
+  prepared_cache : Rw_core.Prepared_cache.t;
+      (* shared across every as-of snapshot of this database; views created
+         by [view_over_pool] inherit the base's cache *)
 }
 
 let name t = t.name
@@ -63,6 +66,7 @@ let set_fpi_frequency t n = Access_ctx.set_fpi_frequency t.ctx n
 let last_recovery_stats t = t.recovery_stats
 let quarantined_pages t = Page_repair.Quarantine.list t.quarantine
 let fault_plan t = Disk.fault_plan t.disk
+let prepared_cache t = t.prepared_cache
 
 let guard_writable t =
   if t.read_only then raise (Read_only t.name)
@@ -109,6 +113,7 @@ let assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequ
     recovery_stats = None;
     pool_capacity;
     quarantine;
+    prepared_cache = Rw_core.Prepared_cache.create ~log ();
   }
 
 let checkpoint ?(flush_pages = true) t =
@@ -440,11 +445,13 @@ let create_cow_snapshot t ~name =
 
 let cow_handle t = t.cow
 
-let create_as_of_snapshot t ~name ~wall_us =
+let create_as_of_snapshot ?(shared = true) t ~name ~wall_us =
   guard_writable t;
   let snap =
     As_of_snapshot.create ~name ~wall_us ~log:t.log ~primary_pool:t.pool ~primary_disk:t.disk
-      ~txns:t.txns ~clock:t.clock ~media:t.media ()
+      ~txns:t.txns ~clock:t.clock ~media:t.media
+      ?shared:(if shared then Some t.prepared_cache else None)
+      ()
   in
   t.last_checkpoint_wall <- now_us t;
   view_over_pool ~name ~base:t ~pool:(As_of_snapshot.pool snap) ~snapshot:(Some snap)

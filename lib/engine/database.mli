@@ -128,10 +128,21 @@ val retention : t -> float option
 val enforce_retention : t -> Rw_storage.Lsn.t option
 
 (* The paper's core: as-of snapshots *)
-val create_as_of_snapshot : t -> name:string -> wall_us:float -> t
+val create_as_of_snapshot : ?shared:bool -> t -> name:string -> wall_us:float -> t
 (** A read-only view of this database as of [wall_us].  Raises
     {!Rw_core.Split_lsn.Out_of_retention} if the time precedes retained
-    log; raises {!Read_only} when invoked on a non-primary view. *)
+    log; raises {!Read_only} when invoked on a non-primary view.
+
+    [shared] (default [true]) lets the snapshot read through the
+    database's shared prepared-page cache, amortising chain rewinds
+    across concurrent snapshots at the same or nearby SplitLSNs.  Pass
+    [false] for an isolated snapshot that re-derives every page from the
+    log — the oracle the E8 self-check and the interleaving tests compare
+    shared snapshots against. *)
+
+val prepared_cache : t -> Rw_core.Prepared_cache.t
+(** The database's shared prepared-page cache (hit-rate introspection for
+    the CLI's [\sessions] display).  Views inherit their base's cache. *)
 
 val snapshot_handle : t -> Rw_core.As_of_snapshot.t option
 (** The underlying snapshot object of a snapshot view (timings, sparse-file

@@ -52,10 +52,10 @@ let find_database_exn t name =
 
 let database_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.dbs [] |> List.sort compare
 
-let create_snapshot t ~of_ ~name ~wall_us =
+let create_snapshot ?shared t ~of_ ~name ~wall_us =
   let db = find_database_exn t of_ in
   if Hashtbl.mem t.dbs name then raise (Database_exists name);
-  let snap = Database.create_as_of_snapshot db ~name ~wall_us in
+  let snap = Database.create_as_of_snapshot ?shared db ~name ~wall_us in
   register t name snap
 
 let drop_database t name =

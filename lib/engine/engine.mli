@@ -36,9 +36,11 @@ val find_database : t -> string -> Database.t option
 val find_database_exn : t -> string -> Database.t
 val database_names : t -> string list
 
-val create_snapshot : t -> of_:string -> name:string -> wall_us:float -> Database.t
+val create_snapshot : ?shared:bool -> t -> of_:string -> name:string -> wall_us:float -> Database.t
 (** Create an as-of snapshot of database [of_] and register it under
-    [name]. *)
+    [name].  [shared] is passed through to
+    {!Database.create_as_of_snapshot} (default [true]: read through the
+    shared prepared-page cache). *)
 
 val drop_database : t -> string -> unit
 (** Unregister a database or snapshot view (dropping a snapshot releases

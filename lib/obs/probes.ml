@@ -92,3 +92,20 @@ let snapshot_side_hits =
 
 let snapshots_live =
   gauge ~unit_:"snapshots" ~help:"As-of snapshots currently open" "snapshot.live"
+
+let snapshot_shared_hits =
+  counter ~unit_:"pages"
+    ~help:"Prepared-page cache hits: a rewound page was reused (or delta-extended) by a later snapshot"
+    "snapshot.shared_hits"
+
+let snapshot_shared_misses =
+  counter ~unit_:"pages"
+    ~help:"Prepared-page cache misses: the full chain rewind ran for the page"
+    "snapshot.shared_misses"
+
+(* Sessions *)
+
+let sessions_live =
+  gauge ~unit_:"sessions"
+    ~help:"Writer and as-of reader sessions currently open in session managers"
+    "sessions.live"

@@ -52,3 +52,9 @@ val snapshot_creates : Metrics.counter
 val snapshot_pages_materialized : Metrics.counter
 val snapshot_side_hits : Metrics.counter
 val snapshots_live : Metrics.gauge
+val snapshot_shared_hits : Metrics.counter
+val snapshot_shared_misses : Metrics.counter
+
+(** {1 Sessions} *)
+
+val sessions_live : Metrics.gauge

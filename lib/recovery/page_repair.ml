@@ -116,4 +116,5 @@ let source ~disk ~log ~wal_flush ~quarantine () =
         (fun pid p ->
           Page.seal p;
           Disk.write_page_seq_retrying disk pid p);
+    read_cached = None;
   }

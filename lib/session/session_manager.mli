@@ -1,0 +1,73 @@
+(** Multi-session scheduler (paper §6.3 at scale).
+
+    Interleaves many OLTP writer sessions with a fleet of concurrent as-of
+    reader sessions over one engine, round-robin on the simulated clock:
+    each {!run} round gives every live session one step, and a session's
+    cost is the simulated time its step consumed.  Readers therefore steal
+    engine time from writers exactly as in the paper's concurrent-query
+    experiment, while runs stay deterministic.
+
+    Sessions are workload-agnostic step closures.  Writers step against
+    the primary database; each reader holds its own {!Rw_core.As_of_snapshot}
+    at its own SplitLSN, opened (by default) through the database's shared
+    prepared-page cache so overlapping readers amortise chain rewinds.
+    The [sessions.live] gauge tracks open sessions. *)
+
+type t
+
+type session
+
+type kind = Writer | Reader
+
+val create : Rw_engine.Database.t -> t
+(** A manager over one primary database.  Raises [Invalid_argument] on a
+    read-only view. *)
+
+val db : t -> Rw_engine.Database.t
+
+val open_writer : t -> name:string -> step:(Rw_engine.Database.t -> unit) -> session
+(** Register a writer session; [step] receives the primary database. *)
+
+val open_reader :
+  ?shared:bool ->
+  t ->
+  name:string ->
+  wall_us:float ->
+  step:(Rw_engine.Database.t -> unit) ->
+  session
+(** Open an as-of snapshot at [wall_us] (see
+    {!Rw_engine.Database.create_as_of_snapshot}; [shared] defaults to
+    reading through the shared prepared-page cache) and register a reader
+    session whose [step] receives the snapshot view.  Raises
+    {!Rw_core.Split_lsn.Out_of_retention} like snapshot creation does. *)
+
+val close : t -> session -> unit
+(** Remove the session from the rotation; a reader's snapshot is dropped
+    (sparse side file released).  Idempotent. *)
+
+val run : t -> rounds:int -> unit
+(** Round-robin interleave: [rounds] times, give every live session one
+    step in open order.  Sessions opened by a step join the next round;
+    sessions closed by a step stop stepping immediately. *)
+
+(** {1 Introspection} *)
+
+val live : t -> session list
+(** Open sessions, in open order. *)
+
+val live_count : t -> int
+val name : session -> string
+val kind : session -> kind
+
+val view : session -> Rw_engine.Database.t
+(** The session's database view: the primary for writers, the snapshot
+    view for readers. *)
+
+val split_lsn : session -> Rw_storage.Lsn.t option
+(** A reader's SplitLSN; [None] for writers. *)
+
+val steps : session -> int
+(** Steps executed so far. *)
+
+val busy_us : session -> float
+(** Total simulated time this session's steps have consumed. *)

@@ -85,6 +85,9 @@ let active_txns t =
     t.active []
   |> List.sort (fun (a, _) (b, _) -> Txn_id.compare a b)
 
+let active_count t =
+  Hashtbl.fold (fun _ txn n -> if txn.state = Active then n + 1 else n) t.active 0
+
 let lock t txn res mode =
   if txn.state <> Active then invalid_arg "Txn_manager.lock: txn not active";
   Lock_manager.acquire t.locks txn.id res mode

@@ -52,10 +52,16 @@ val state : txn -> state
 val last_lsn : txn -> Rw_storage.Lsn.t
 
 val find : t -> Rw_wal.Txn_id.t -> txn option
+
 val active_txns : t -> (Rw_wal.Txn_id.t * Rw_storage.Lsn.t) list
 (** For the checkpoint record: (id, last LSN) of every active txn.
     [Committing] txns are excluded — their outcome is decided solely by
     whether their commit record is durable. *)
+
+val active_count : t -> int
+(** Number of transactions currently in the [Active] state (the
+    [\sessions] display; committing txns are excluded exactly as in
+    {!active_txns}). *)
 
 val lock : t -> txn -> Lock_manager.resource -> Lock_manager.mode -> unit
 

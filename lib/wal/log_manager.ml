@@ -103,6 +103,13 @@ type t = {
   mutable spilled_count : int;
   mutable loaded_count : int; (* cold block loads from spilled segments *)
   mutable dropped_count : int;
+  mutable invalidation_epoch : int;
+      (* Bumped whenever history is lost (truncation) or LSNs may be
+         recycled (crash).  Derived caches of rewound state — e.g. the
+         shared prepared-page cache — compare a stored epoch against this
+         counter and lazily discard entries from older epochs; ordinary
+         appends never bump it, because chain rewinds are deterministic
+         over an append-only history. *)
 }
 
 let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536)
@@ -132,6 +139,7 @@ let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536)
     spilled_count = 0;
     loaded_count = 0;
     dropped_count = 0;
+    invalidation_epoch = 0;
   }
 
 let clock t = t.clock
@@ -145,6 +153,7 @@ let total_appended_bytes t = t.total_appended_bytes
 let retained_bytes t = Lsn.to_int t.end_lsn - Lsn.to_int t.truncated_below
 let record_count t = t.nrecords
 let record_cache_bytes t = Lru.Weighted.size_bytes t.record_cache
+let invalidation_epoch t = t.invalidation_epoch
 let segment_count t = t.seg_hi - t.seg_lo
 let segment_size t = t.segment_bytes
 let resident_bytes t = t.resident_payload + t.index_bytes
@@ -556,6 +565,18 @@ let decode_cached_quiet t seg i =
       Lru.Weighted.node_value n
   | _ -> decode_miss t seg i
 
+(* Scan variant: reuse a live cached decode but never insert on a miss —
+   a range scan over cold history would otherwise flush the hot chain
+   entries out of the weighted LRU.  [append] seeds the cache with every
+   record it encodes, so scans over fresh history (analysis passes,
+   SplitLSN searches at snapshot creation) are pure hits. *)
+let decode_scan t seg i =
+  match seg.s_cached.(i) with
+  | Some n when Lru.Weighted.alive n ->
+      t.io.Io_stats.log_record_hits <- t.io.Io_stats.log_record_hits + 1;
+      Lru.Weighted.node_value n
+  | _ -> Log_record.decode (rec_data seg i)
+
 let read_nocost t lsn =
   let si, i = locate t lsn in
   decode_cached t t.segs.(si) i
@@ -674,7 +695,7 @@ let iter_from t start_pos ~upto f =
 let iter_range t ~from ~upto f =
   iter_from t (global_lower t from) ~upto (fun s i lsn ->
       charge_seq t (rec_len s i);
-      f lsn (Log_record.decode (rec_data s i)))
+      f lsn (decode_scan t s i))
 
 let iter_range_peek t ~from ~upto f =
   iter_from t (global_lower t from) ~upto (fun s i lsn ->
@@ -702,7 +723,7 @@ let iter_range_rev t ~from ~upto f =
         if li < from_i then continue := false
         else begin
           charge_seq t (rec_len s i);
-          f (Lsn.of_int li) (Log_record.decode (rec_data s i));
+          f (Lsn.of_int li) (decode_scan t s i);
           pos := pred_pos t (si, i)
         end
   done
@@ -950,6 +971,7 @@ let truncate_before t lsn =
         end
       end
     end;
+    t.invalidation_epoch <- t.invalidation_epoch + 1;
     update_resident_gauge t
   end
 
@@ -1064,6 +1086,9 @@ let crash t =
   t.flushed_lsn <- t.end_lsn;
   t.unflushed_bytes <- 0;
   if Lsn.(t.last_checkpoint >= t.end_lsn) then t.last_checkpoint <- newest_checkpoint t;
+  (* LSNs above the surviving tail will be recycled by post-restart
+     appends; any rewound state derived from the pre-crash log is void. *)
+  t.invalidation_epoch <- t.invalidation_epoch + 1;
   update_resident_gauge t
 
 let repair_tail t =

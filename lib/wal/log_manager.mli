@@ -192,6 +192,14 @@ val record_count : t -> int
 val record_cache_bytes : t -> int
 (** Current decoded-record cache occupancy. *)
 
+val invalidation_epoch : t -> int
+(** Monotone counter bumped whenever log history is invalidated:
+    {!truncate_before} (history below the cut is gone, so rewinds that
+    might need it can no longer be trusted) and {!crash} (the torn tail's
+    LSNs will be recycled after restart).  Derived caches of rewound
+    state stamp entries with the epoch at fill time and discard them
+    lazily on mismatch; plain appends never bump it. *)
+
 (** {2 Segment introspection} *)
 
 val segment_count : t -> int

@@ -12,6 +12,8 @@ module Backup = Rw_engine.Backup
 module Engine = Rw_engine.Engine
 module As_of_snapshot = Rw_core.As_of_snapshot
 module Split_lsn = Rw_core.Split_lsn
+module Prepared_cache = Rw_core.Prepared_cache
+module Session_manager = Rw_session.Session_manager
 
 type figure =
   | Fig5
@@ -23,6 +25,7 @@ type figure =
   | Fig11
   | Sec6_3
   | Sec6_4
+  | E8
   | Ablation
   | Faults
   | Explain
@@ -39,6 +42,7 @@ let all =
     Fig11;
     Sec6_3;
     Sec6_4;
+    E8;
     Ablation;
     Faults;
     Explain;
@@ -55,6 +59,7 @@ let name = function
   | Fig11 -> "fig11"
   | Sec6_3 -> "sec6_3"
   | Sec6_4 -> "sec6_4"
+  | E8 -> "e8"
   | Ablation -> "ablation"
   | Faults -> "faults"
   | Explain -> "explain"
@@ -317,6 +322,119 @@ let sec6_3 ~quick () =
   Printf.printf "%-34s %s\n" "log write path"
     (Format.asprintf "%a" Io_stats.pp_writes (Log_manager.stats (Database.log s2.db)));
   Printf.printf "(paper: 270k -> 180k tpmC, i.e. ~67%% retained; creation 20s, query 30s)\n%!"
+
+(* --- E8: §6.3 at scale — writer tpmC vs concurrent as-of reader count ---
+
+   The paper measures one as-of query loop next to the TPC-C writers; E8
+   scales that to a fleet.  For each reader count m, a fresh database runs
+   the same writer sessions round-robin-interleaved with m reader sessions,
+   each reader holding its own as-of snapshot at its own (staggered)
+   SplitLSN and running the stock-level query every round.  Readers consume
+   simulated engine time, so writer throughput (new-orders per simulated
+   minute) degrades as m grows — the paper's contention effect — while the
+   shared prepared-page cache keeps the degradation sub-linear by letting
+   overlapping snapshots reuse each other's chain rewinds.
+
+   Self-check: every reader's materialized pages must be byte-equal to a
+   fresh *solo* snapshot (shared cache off) at the same wall target — the
+   cache must be invisible to results.  FAIL exits non-zero. *)
+let e8 ~quick () =
+  header "E8 (§6.3 at scale): writer tpmC vs concurrent as-of reader count";
+  let phase = if quick then 300 else 1000 in
+  let rounds = if quick then 10 else 30 in
+  (* 2 writers x 5 txns per round puts one reader's per-round query cost
+     near a third of the writers' — the paper's single-loop operating
+     point (~67% retained); bigger fleets then degrade from there. *)
+  let writers = 2 and txns_per_round = 5 in
+  let reader_counts = [ 0; 1; 4; 16 ] in
+  let failures = ref 0 in
+  let base_tpmc = ref 0.0 in
+  Printf.printf "%8s %10s %10s %12s %11s %12s %7s\n" "readers" "tpmC" "retained%" "avg_query_s"
+    "cache_hit%" "shared_hits" "check";
+  List.iter
+    (fun m ->
+      let s = build ~history_txns:phase () in
+      let hist_span = s.t_run_end -. s.t_run_start in
+      let sm = Session_manager.create s.db in
+      let stats = { Tpcc.new_orders = 0; payments = 0; order_statuses = 0; stock_levels = 0 } in
+      let wsessions =
+        List.init writers (fun i ->
+            let drv = Tpcc.create s.db { s.cfg with Tpcc.seed = s.cfg.Tpcc.seed + (101 * (i + 1)) } in
+            Session_manager.open_writer sm
+              ~name:(Printf.sprintf "writer-%d" i)
+              ~step:(fun _db ->
+                let b = Tpcc.run_mix drv ~txns:txns_per_round in
+                stats.Tpcc.new_orders <- stats.Tpcc.new_orders + b.Tpcc.new_orders;
+                stats.Tpcc.payments <- stats.Tpcc.payments + b.Tpcc.payments;
+                stats.Tpcc.order_statuses <- stats.Tpcc.order_statuses + b.Tpcc.order_statuses;
+                stats.Tpcc.stock_levels <- stats.Tpcc.stock_levels + b.Tpcc.stock_levels))
+      in
+      let query_times = ref [] in
+      let rsessions =
+        List.init m (fun i ->
+            (* Staggered targets across [10%, 60%] of history back: nearby
+               but distinct SplitLSNs, the shared cache's home ground. *)
+            let frac = 0.10 +. (0.50 *. float_of_int i /. float_of_int (max 1 (m - 1))) in
+            let target = s.t_run_end -. (frac *. hist_span) in
+            let w = 1 + (i mod s.cfg.Tpcc.warehouses) and d = 1 + (i mod s.cfg.Tpcc.districts) in
+            let rs =
+              Session_manager.open_reader sm ~name:(fresh_name "e8_rd") ~wall_us:target
+                ~step:(fun view ->
+                  let _, q =
+                    time_of s.eng (fun () -> Tpcc.stock_level view s.cfg ~w ~d ~threshold:15)
+                  in
+                  query_times := seconds q :: !query_times)
+            in
+            (rs, target))
+      in
+      let t0 = Engine.now_us s.eng in
+      Session_manager.run sm ~rounds;
+      let elapsed = Engine.now_us s.eng -. t0 in
+      let tpmc = Tpcc.tpmc stats ~elapsed_us:elapsed in
+      if m = 0 then base_tpmc := tpmc;
+      (* Self-check before closing: shared readers vs solo oracles. *)
+      let ok =
+        List.for_all
+          (fun (rs, target) ->
+            let view = Session_manager.view rs in
+            let snap = Option.get (Database.snapshot_handle view) in
+            let solo_view =
+              Database.create_as_of_snapshot ~shared:false s.db ~name:(fresh_name "e8_solo")
+                ~wall_us:target
+            in
+            let solo = Option.get (Database.snapshot_handle solo_view) in
+            let same =
+              Lsn.equal (As_of_snapshot.split_lsn snap) (As_of_snapshot.split_lsn solo)
+              && List.for_all
+                   (fun pid ->
+                     String.equal (As_of_snapshot.page_string snap pid)
+                       (As_of_snapshot.page_string solo pid))
+                   (As_of_snapshot.materialized_page_ids snap)
+            in
+            As_of_snapshot.drop solo;
+            same)
+          rsessions
+      in
+      if not ok then incr failures;
+      let cache = Database.prepared_cache s.db in
+      let avg_query =
+        match !query_times with
+        | [] -> "-"
+        | l -> Printf.sprintf "%.4f" (List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l))
+      in
+      Printf.printf "%8d %10.0f %9.0f%% %12s %10.0f%% %12d %7s\n%!" m tpmc
+        (if !base_tpmc > 0.0 then tpmc /. !base_tpmc *. 100.0 else 100.0)
+        avg_query
+        (Prepared_cache.hit_rate cache *. 100.0)
+        (Prepared_cache.hits cache + Prepared_cache.delta_hits cache)
+        (if ok then "PASS" else "FAIL");
+      List.iter (fun ws -> Session_manager.close sm ws) wsessions;
+      List.iter (fun (rs, _) -> Session_manager.close sm rs) rsessions)
+    reader_counts;
+  Printf.printf "(paper: 270k -> 180k tpmC with one concurrent as-of loop, ~67%% retained)\n";
+  Printf.printf "self-check (readers byte-equal to solo snapshots): %s\n%!"
+    (if !failures = 0 then "PASS" else "FAIL");
+  if !failures > 0 then exit 1
 
 (* --- §6.4: crossover between log rewind and backup roll-forward --- *)
 
@@ -802,6 +920,7 @@ let run ?(quick = false) = function
   | Fig11 -> fig11 ~quick ()
   | Sec6_3 -> sec6_3 ~quick ()
   | Sec6_4 -> sec6_4 ~quick ()
+  | E8 -> e8 ~quick ()
   | Ablation ->
       ablation ~quick ();
       ablation_cow ~quick ()

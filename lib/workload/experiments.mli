@@ -19,6 +19,13 @@ type figure =
   | Fig11  (** estimated undo log I/Os vs time back *)
   | Sec6_3  (** throughput with a concurrent as-of query loop *)
   | Sec6_4  (** crossover: log rewind vs backup roll-forward *)
+  | E8
+      (** §6.3 at scale: TPC-C writer sessions interleaved with fleets of
+          0/1/4/16 concurrent as-of reader sessions (each at its own
+          SplitLSN, reading through the shared prepared-page cache);
+          prints the writer-tpmC degradation curve and self-checks every
+          reader byte-equal to a solo (uncached) snapshot — exits
+          non-zero on mismatch *)
   | Ablation
       (** design-choice ablations: FPI frequency, log cache size, page- vs
           transaction-oriented undo, and proactive copy-on-write snapshots

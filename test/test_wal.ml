@@ -628,6 +628,31 @@ let test_record_cache_counters () =
   check_int "re-read is a record hit" 1 d2.Io_stats.log_record_hits;
   check_int "no second miss" 0 d2.Io_stats.log_record_misses
 
+(* Scans reuse decoded records the appends just seeded into the cache (a
+   hit per record, no misses counted), and never insert on their own: a
+   scan over cold history must not evict the hot chain entries. *)
+let test_scan_uses_cached_decodes () =
+  let _, log = mk_log () in
+  let n = 50 in
+  let lsns =
+    List.init n (fun i ->
+        Log_manager.append log (Log_record.make ~txn:(Txn_id.of_int i) Log_record.Begin))
+  in
+  let occupancy = Log_manager.record_cache_bytes log in
+  let s0 = Io_stats.copy (Log_manager.stats log) in
+  Log_manager.iter_range log ~from:(List.hd lsns) ~upto:(Log_manager.end_lsn log) (fun _ _ -> ());
+  let d = Io_stats.diff (Log_manager.stats log) s0 in
+  check_int "every record was a cache hit" n d.Io_stats.log_record_hits;
+  check_int "no record misses" 0 d.Io_stats.log_record_misses;
+  check_int "scan did not grow the cache" occupancy (Log_manager.record_cache_bytes log);
+  (* A reverse scan takes the same path. *)
+  let s1 = Io_stats.copy (Log_manager.stats log) in
+  Log_manager.iter_range_rev log ~from:(List.hd lsns) ~upto:(Log_manager.end_lsn log)
+    (fun _ _ -> ());
+  let d1 = Io_stats.diff (Log_manager.stats log) s1 in
+  check_int "reverse scan hits too" n d1.Io_stats.log_record_hits;
+  check_int "reverse scan misses nothing" 0 d1.Io_stats.log_record_misses
+
 (* --- prefetch --- *)
 
 let test_prefetch_sequentialises () =
@@ -693,6 +718,7 @@ let () =
           Alcotest.test_case "indexes agree with rebuild" `Quick
             test_indexes_agree_after_truncate_and_crash;
           Alcotest.test_case "record cache counters" `Quick test_record_cache_counters;
+          Alcotest.test_case "scans use cached decodes" `Quick test_scan_uses_cached_decodes;
           Alcotest.test_case "prefetch sequentialises" `Quick test_prefetch_sequentialises;
         ] );
     ]

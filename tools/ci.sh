@@ -57,6 +57,7 @@ bench_value() {
 base_prepare=$(bench_value "core-primitives/prepare_page_as_of (400-op rewind)" || true)
 base_prepare_cold=$(bench_value "core-primitives/prepare_page_as_of (cold segment)" || true)
 base_commit=$(bench_value "core-primitives/group commit (8 txns/flush)" || true)
+base_shared=$(bench_value "core-primitives/prepare_page_as_of (shared-cache hit)" || true)
 
 dune exec bench/main.exe -- all --quick --json >/dev/null
 test -s BENCH_micro.json
@@ -87,6 +88,7 @@ check_regression() {
 check_regression "core-primitives/prepare_page_as_of (400-op rewind)" "$base_prepare"
 check_regression "core-primitives/prepare_page_as_of (cold segment)" "$base_prepare_cold"
 check_regression "core-primitives/group commit (8 txns/flush)" "$base_commit"
+check_regression "core-primitives/prepare_page_as_of (shared-cache hit)" "$base_shared"
 
 echo "== fault-injection soak (fixed seeds, random crash points) =="
 # TPC-C under torn writes / bit rot / transient errors / torn log tails,
