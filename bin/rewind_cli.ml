@@ -183,6 +183,45 @@ let meta_command session eng line =
           | None ->
               Printf.printf "current database vanished\n%!";
               `Continue))
+  | [ "\\recovery" ] -> (
+      match Executor.current_database session with
+      | None ->
+          Printf.printf "no database selected (USE <db>)\n%!";
+          `Continue
+      | Some name -> (
+          match Engine.find_database eng name with
+          | Some db ->
+              let backlog = Rw_engine.Database.recovery_backlog db in
+              (match Rw_engine.Database.last_recovery_stats db with
+              | None -> Printf.printf "recovery : never run (clean start)\n"
+              | Some s ->
+                  if backlog > 0 then
+                    Printf.printf "recovery : instant restart, %d page(s) still in the backlog\n"
+                      backlog
+                  else Printf.printf "recovery : fully recovered\n";
+                  Printf.printf "analysis : %.0f us (%d records scanned)\n"
+                    s.Rw_recovery.Recovery.analysis_us
+                    s.Rw_recovery.Recovery.analysis.Rw_recovery.Recovery.records_scanned;
+                  Printf.printf "ttfq     : %.0f us to first query\n"
+                    s.Rw_recovery.Recovery.time_to_first_query_us;
+                  if s.Rw_recovery.Recovery.time_to_full_recovery_us > 0.0 then
+                    Printf.printf "ttfr     : %.0f us to full recovery\n"
+                      s.Rw_recovery.Recovery.time_to_full_recovery_us
+                  else Printf.printf "ttfr     : pending (backlog draining)\n";
+                  Printf.printf "work     : %d redone, %d undone, %d losers ended\n"
+                    s.Rw_recovery.Recovery.redone_ops s.Rw_recovery.Recovery.undone_ops
+                    s.Rw_recovery.Recovery.ended_losers;
+                  match s.Rw_recovery.Recovery.tail_truncated with
+                  | Some (lsn, dropped) ->
+                      Printf.printf "tail     : torn, truncated at lsn %d (%d record(s) dropped)\n"
+                        (Rw_storage.Lsn.to_int lsn) dropped
+                  | None -> Printf.printf "tail     : clean\n");
+              Printf.printf "on-demand: %d page(s) recovered on first touch (process-wide)\n%!"
+                (Metrics.counter_value Rw_obs.Probes.recovery_pages_on_demand);
+              `Continue
+          | None ->
+              Printf.printf "current database vanished\n%!";
+              `Continue))
   | [ "\\advance"; n ] -> (
       match float_of_string_opt n with
       | Some sec when sec >= 0.0 ->
@@ -237,6 +276,7 @@ let meta_command session eng line =
         \  \\log               log segment lifecycle and resident-memory stats\n\
         \  \\sessions          writer/reader sessions and the prepared-page cache\n\
         \  \\faults            fault-injection counters and quarantined pages\n\
+        \  \\recovery          restart mode, backlog, and recovery timings\n\
         \  \\metrics [json]    engine metrics registry snapshot\n\
         \  \\trace on|off|status|clear|dump <path>\n\
         \                     trace collector; dump writes Chrome trace_event JSON\n\

@@ -76,6 +76,7 @@ let page f = f.page
 let frame_latch f = f.latch
 let pin_count f = f.pin_count
 let is_dirty f = f.dirty
+let capacity t = t.capacity
 let resident t = Hashtbl.length t.frames
 let hits t = t.hits
 let misses t = t.misses

@@ -60,6 +60,10 @@ val frame_latch : frame -> Latch.t
 val pin_count : frame -> int
 val is_dirty : frame -> bool
 
+val capacity : t -> int
+(** The frame budget the pool was created with (callers sizing batched
+    work against the pool, e.g. parallel redo, use this). *)
+
 val mark_dirty : t -> frame -> lsn:Rw_storage.Lsn.t -> unit
 (** Record that the frame was modified by the log record at [lsn]; on first
     dirtying this becomes the frame's recovery LSN. *)

@@ -43,6 +43,10 @@ type t = {
   checkpoint_interval_us : float;
   mutable last_checkpoint_wall : float;
   mutable recovery_stats : Recovery.stats option;
+  mutable instant : Recovery.Instant.t option;
+      (* present when the last restart used instant recovery; pages in its
+         backlog are recovered on first touch or by [recovery_drain_step] *)
+  redo_domains : int;
   pool_capacity : int;
   quarantine : Page_repair.Quarantine.t;
   prepared_cache : Rw_core.Prepared_cache.t;
@@ -71,8 +75,17 @@ let prepared_cache t = t.prepared_cache
 let guard_writable t =
   if t.read_only then raise (Read_only t.name)
 
+let recovery_backlog t =
+  match t.instant with Some i -> Recovery.Instant.backlog i | None -> 0
+
+let recovery_drain_step ?(max_pages = 8) t =
+  match t.instant with None -> 0 | Some i -> Recovery.Instant.drain i ~max_pages
+
+let recovery_drain_all t =
+  match t.instant with None -> () | Some i -> ignore (Recovery.Instant.drain i ~max_pages:max_int)
+
 let assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequency
-    ~checkpoint_interval_us ~read_only ~snapshot ~pool_opt () =
+    ~checkpoint_interval_us ~read_only ~snapshot ~instant ~redo_domains ~pool_opt () =
   let locks = Lock_manager.create () in
   let txns = Txn_manager.create ~log ~locks in
   let quarantine = Page_repair.Quarantine.create () in
@@ -87,9 +100,25 @@ let assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequ
         (* The primary reads through the self-healing source: a checksum
            failure triggers a rebuild from the page's log chain instead of
            failing the query; unrepairable pages are quarantined. *)
-        Buffer_pool.create ~capacity:pool_capacity
-          ~source:(Page_repair.source ~disk ~log ~wal_flush ~quarantine ())
-          ~wal_flush ()
+        let base = Page_repair.source ~disk ~log ~wal_flush ~quarantine () in
+        let source =
+          match instant with
+          | None -> base
+          | Some inst ->
+              (* Instant restart: the pool reads through a first-touch
+                 wrapper — a fetch miss on a backlog page recovers its whole
+                 group (redo to end-of-log + loser undo) before the page is
+                 handed out.  Group recovery itself reads and writes through
+                 the unwrapped self-healing source. *)
+              Recovery.Instant.attach inst ~read:base.Buffer_pool.read
+                ~write:base.Buffer_pool.write ~wal_flush;
+              {
+                base with
+                Buffer_pool.read =
+                  (fun pid -> Recovery.Instant.touch inst pid (base.Buffer_pool.read pid));
+              }
+        in
+        Buffer_pool.create ~capacity:pool_capacity ~source ~wal_flush ()
   in
   let ctx = Access_ctx.create ~pool ~txns ~log ~clock ~fpi_frequency () in
   {
@@ -111,12 +140,18 @@ let assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequ
     checkpoint_interval_us;
     last_checkpoint_wall = Sim_clock.now_us clock;
     recovery_stats = None;
+    instant;
+    redo_domains;
     pool_capacity;
     quarantine;
     prepared_cache = Rw_core.Prepared_cache.create ~log ();
   }
 
 let checkpoint ?(flush_pages = true) t =
+  (* A checkpoint's dirty-page table only describes the pool, so taking one
+     while an instant-restart backlog is outstanding would move the master
+     record past pages that still need redo.  Finish recovery first. *)
+  recovery_drain_all t;
   let lsn =
     Recovery.checkpoint ~log:t.log ~pool:t.pool ~txns:t.txns ~wall_us:(now_us t) ~flush_pages ()
   in
@@ -128,7 +163,7 @@ let checkpoint ?(flush_pages = true) t =
 
 let create ~name ~clock ~media ?log_media ?(pool_capacity = 512) ?(log_cache_blocks = 128)
     ?(log_block_bytes = 65536) ?log_segment_bytes ?(fpi_frequency = 0)
-    ?(checkpoint_interval_us = 30_000_000.0) ?fault_plan () =
+    ?(checkpoint_interval_us = 30_000_000.0) ?(redo_domains = 1) ?fault_plan () =
   let log_media = Option.value log_media ~default:media in
   let disk = Disk.create ~clock ~media ?fault_plan () in
   let log =
@@ -137,7 +172,8 @@ let create ~name ~clock ~media ?log_media ?(pool_capacity = 512) ?(log_cache_blo
   in
   let t =
     assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity ~fpi_frequency
-      ~checkpoint_interval_us ~read_only:false ~snapshot:None ~pool_opt:None ()
+      ~checkpoint_interval_us ~read_only:false ~snapshot:None ~instant:None ~redo_domains
+      ~pool_opt:None ()
   in
   (* Bootstrap: boot page, page-id counter, allocation map, catalog. *)
   let txn = Txn_manager.begin_txn t.txns in
@@ -408,7 +444,11 @@ let row_count t ~table =
 
 let set_retention t v = Retention.set_interval t.retention v
 let retention t = Retention.interval t.retention
-let enforce_retention t = Retention.enforce t.retention ~log:t.log ~now_us:(now_us t)
+let enforce_retention t =
+  (* Truncation must not reclaim log an outstanding restart backlog still
+     needs for redo; finish recovery first. *)
+  recovery_drain_all t;
+  Retention.enforce t.retention ~log:t.log ~now_us:(now_us t)
 
 (* --- snapshots --- *)
 
@@ -430,10 +470,14 @@ let view_over_pool ~name ~base ~pool ~snapshot =
     snapshot;
     cow = None;
     recovery_stats = None;
+    instant = None;
   }
 
 let create_cow_snapshot t ~name =
   guard_writable t;
+  (* Snapshots read pages beneath the pool, so the on-disk state must be
+     fully recovered before one is taken. *)
+  recovery_drain_all t;
   let cow =
     Rw_core.Cow_snapshot.create ~name ~ctx:t.ctx ~primary_pool:t.pool ~primary_disk:t.disk
       ~txns:t.txns ~log:t.log ~clock:t.clock ~media:t.media ()
@@ -447,6 +491,9 @@ let cow_handle t = t.cow
 
 let create_as_of_snapshot ?(shared = true) t ~name ~wall_us =
   guard_writable t;
+  (* As-of rewinds start from current on-disk images; drain any instant
+     restart backlog so those images are consistent. *)
+  recovery_drain_all t;
   let snap =
     As_of_snapshot.create ~name ~wall_us ~log:t.log ~primary_pool:t.pool ~primary_disk:t.disk
       ~txns:t.txns ~clock:t.clock ~media:t.media
@@ -544,12 +591,15 @@ let load ~clock ~media ?log_media ?pool_capacity:(pool_cap = 512) ?(log_cache_bl
   Log_manager.restore_entries log entries;
   let t =
     assemble ~name ~clock ~media ~log_media ~disk ~log ~pool_capacity:pool_cap ~fpi_frequency
-      ~checkpoint_interval_us:30_000_000.0 ~read_only:false ~snapshot:None ~pool_opt:None ()
+      ~checkpoint_interval_us:30_000_000.0 ~read_only:false ~snapshot:None ~instant:None
+      ~redo_domains:1 ~pool_opt:None ()
   in
   Retention.set_interval t.retention retention_us;
   (* The image was checkpoint-consistent, so restart recovery is a cheap
      formality that also reseeds the transaction-id counter. *)
-  let stats = Recovery.recover ~log:t.log ~pool:t.pool in
+  let stats =
+    Recovery.recover ~now_us:(fun () -> Sim_clock.now_us clock) ~log:t.log ~pool:t.pool ()
+  in
   Txn_manager.set_next_id t.txns (Rw_wal.Txn_id.next stats.Recovery.analysis.Recovery.max_txn_id);
   t.recovery_stats <- Some stats;
   t.alloc <- Alloc_map.open_ t.ctx;
@@ -573,24 +623,55 @@ let scrub t =
 
 (* --- crash simulation --- *)
 
-let crash_and_reopen t =
+let crash_and_reopen ?(instant = false) ?redo_domains t =
   guard_writable t;
+  let redo_domains = Option.value redo_domains ~default:t.redo_domains in
   Buffer_pool.drop_all t.pool;
   (* Torn writes bite now: pages whose last write was marked tearable keep
      only a sector prefix of it, and the log may keep a torn tail. *)
   ignore (Disk.apply_crash t.disk);
   Log_manager.crash t.log;
-  let fresh =
-    assemble ~name:t.name ~clock:t.clock ~media:t.media ~log_media:t.log_media ~disk:t.disk
-      ~log:t.log ~pool_capacity:t.pool_capacity
-      ~fpi_frequency:(Access_ctx.fpi_frequency t.ctx)
-      ~checkpoint_interval_us:t.checkpoint_interval_us ~read_only:false ~snapshot:None
-      ~pool_opt:None ()
-  in
-  let stats = Recovery.recover ~log:fresh.log ~pool:fresh.pool in
-  Txn_manager.set_next_id fresh.txns (Rw_wal.Txn_id.next stats.Recovery.analysis.Recovery.max_txn_id);
-  fresh.recovery_stats <- Some stats;
-  (* Allocation state may have changed during redo/undo; rebuild. *)
-  fresh.alloc <- Alloc_map.open_ fresh.ctx;
-  ignore (checkpoint fresh);
-  fresh
+  let now_us_clock () = Sim_clock.now_us t.clock in
+  if instant then begin
+    (* Instant restart: tail repair + analysis only, then open for business.
+       Backlog pages are recovered on first touch (the pool source wrapper
+       installed by [assemble]) or by the background sweeper; the first
+       fetches below — boot page, allocation map — already go through it. *)
+    let inst = Recovery.Instant.open_ ~now_us:now_us_clock ~log:t.log () in
+    let fresh =
+      assemble ~name:t.name ~clock:t.clock ~media:t.media ~log_media:t.log_media ~disk:t.disk
+        ~log:t.log ~pool_capacity:t.pool_capacity
+        ~fpi_frequency:(Access_ctx.fpi_frequency t.ctx)
+        ~checkpoint_interval_us:t.checkpoint_interval_us ~read_only:false ~snapshot:None
+        ~instant:(Some inst) ~redo_domains ~pool_opt:None ()
+    in
+    let stats = Recovery.Instant.stats inst in
+    Txn_manager.set_next_id fresh.txns
+      (Rw_wal.Txn_id.next stats.Recovery.analysis.Recovery.max_txn_id);
+    fresh.recovery_stats <- Some stats;
+    fresh.alloc <- Alloc_map.open_ fresh.ctx;
+    (* No checkpoint yet: the master record must not advance past pages
+       still awaiting redo.  The first explicit or automatic checkpoint
+       drains the backlog and then advances it. *)
+    Recovery.Instant.mark_open inst;
+    fresh
+  end
+  else begin
+    let fresh =
+      assemble ~name:t.name ~clock:t.clock ~media:t.media ~log_media:t.log_media ~disk:t.disk
+        ~log:t.log ~pool_capacity:t.pool_capacity
+        ~fpi_frequency:(Access_ctx.fpi_frequency t.ctx)
+        ~checkpoint_interval_us:t.checkpoint_interval_us ~read_only:false ~snapshot:None
+        ~instant:None ~redo_domains ~pool_opt:None ()
+    in
+    let stats =
+      Recovery.recover ~redo_domains ~now_us:now_us_clock ~log:fresh.log ~pool:fresh.pool ()
+    in
+    Txn_manager.set_next_id fresh.txns
+      (Rw_wal.Txn_id.next stats.Recovery.analysis.Recovery.max_txn_id);
+    fresh.recovery_stats <- Some stats;
+    (* Allocation state may have changed during redo/undo; rebuild. *)
+    fresh.alloc <- Alloc_map.open_ fresh.ctx;
+    ignore (checkpoint fresh);
+    fresh
+  end

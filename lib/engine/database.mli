@@ -24,6 +24,7 @@ val create :
   ?log_segment_bytes:int ->
   ?fpi_frequency:int ->
   ?checkpoint_interval_us:float ->
+  ?redo_domains:int ->
   ?fault_plan:Rw_storage.Fault_plan.t ->
   unit ->
   t
@@ -31,12 +32,13 @@ val create :
     catalog), commit the initialisation and take a first checkpoint.
     [fpi_frequency] is the paper's N (0 disables full-page-image logging);
     [checkpoint_interval_us] (default 30 simulated seconds) triggers an
-    automatic checkpoint at commit when exceeded.  An optional
-    [fault_plan] threads deterministic fault injection through the disk
-    and the log (see {!Rw_storage.Fault_plan}); the engine detects the
-    injected damage by checksum, repairs pages from the log
-    ({!Rw_recovery.Page_repair}) and truncates torn log tails at
-    recovery. *)
+    automatic checkpoint at commit when exceeded.  [redo_domains] (default
+    1 = sequential) is the default domain fan-out for the redo pass of any
+    later restart recovery.  An optional [fault_plan] threads deterministic
+    fault injection through the disk and the log (see
+    {!Rw_storage.Fault_plan}); the engine detects the injected damage by
+    checksum, repairs pages from the log ({!Rw_recovery.Page_repair}) and
+    truncates torn log tails at recovery. *)
 
 (* Accessors *)
 val name : t -> string
@@ -180,12 +182,32 @@ val load :
     Raises [Failure] on a file that is not a rewinddb image. *)
 
 (* Crash simulation *)
-val crash_and_reopen : t -> t
+val crash_and_reopen : ?instant:bool -> ?redo_domains:int -> t -> t
 (** Discard all volatile state (buffer pool, unflushed log) and run ARIES
     restart recovery; returns the reopened database over the same durable
-    state.  The old handle must not be used afterwards. *)
+    state.  The old handle must not be used afterwards.
+
+    With [instant:true] (default false) only tail repair + analysis run
+    before the database opens; backlog pages are recovered on first touch
+    and by {!recovery_drain_step} (see {!Rw_recovery.Recovery.Instant} and
+    DESIGN.md §12).  [redo_domains] overrides the database's default fan-out
+    for the (non-instant) redo pass; 1 reproduces the sequential pass
+    byte-for-byte. *)
 
 val last_recovery_stats : t -> Rw_recovery.Recovery.stats option
+
+val recovery_backlog : t -> int
+(** Pages still awaiting recovery after an instant restart (0 for a fully
+    recovered database or one opened with full-replay recovery). *)
+
+val recovery_drain_step : ?max_pages:int -> t -> int
+(** Recover up to [max_pages] (default 8) backlog pages; returns how many
+    left the backlog.  The session manager's background sweeper calls this
+    between scheduler rounds. *)
+
+val recovery_drain_all : t -> unit
+(** Drain the whole backlog.  Runs implicitly before checkpoints, retention
+    enforcement and snapshot creation. *)
 
 (* Fault injection / graceful degradation *)
 val fault_plan : t -> Rw_storage.Fault_plan.t option

@@ -34,12 +34,12 @@ let register t name db =
   Hashtbl.replace t.dbs name db;
   db
 
-let create_database t ?fpi_frequency ?pool_capacity ?checkpoint_interval_us ?log_cache_blocks
-    ?log_block_bytes ?log_segment_bytes ?fault_plan name =
+let create_database t ?fpi_frequency ?pool_capacity ?checkpoint_interval_us ?redo_domains
+    ?log_cache_blocks ?log_block_bytes ?log_segment_bytes ?fault_plan name =
   if Hashtbl.mem t.dbs name then raise (Database_exists name);
   let db =
     Database.create ~name ~clock:t.clock ~media:t.media ~log_media:t.log_media ?fpi_frequency
-      ?pool_capacity ?checkpoint_interval_us ?log_cache_blocks ?log_block_bytes
+      ?pool_capacity ?checkpoint_interval_us ?redo_domains ?log_cache_blocks ?log_block_bytes
       ?log_segment_bytes ?fault_plan ()
   in
   register t name db

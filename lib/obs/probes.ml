@@ -78,6 +78,18 @@ let recovery_runs = counter ~unit_:"runs" ~help:"Restart recoveries performed" "
 let recovery_redone = counter ~unit_:"ops" ~help:"Operations replayed by the redo pass" "recovery.redone_ops"
 let recovery_undone = counter ~unit_:"ops" ~help:"Loser operations rolled back by the undo pass" "recovery.undone_ops"
 
+let recovery_pages_on_demand =
+  counter ~unit_:"pages" ~help:"Backlog pages recovered on first touch during instant restart"
+    "recovery.pages_on_demand"
+
+let recovery_redo_partitions =
+  counter ~unit_:"partitions" ~help:"Redo partitions executed by domain-parallel restart recovery"
+    "recovery.redo_partitions"
+
+let recovery_backlog =
+  gauge ~unit_:"pages" ~help:"Pages still awaiting redo/undo after an instant restart"
+    "recovery.backlog"
+
 (* As-of snapshots *)
 
 let snapshot_creates = counter ~unit_:"snapshots" ~help:"As-of snapshots created" "snapshot.creates"

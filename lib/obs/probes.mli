@@ -45,6 +45,9 @@ val chain_length : Metrics.histogram
 val recovery_runs : Metrics.counter
 val recovery_redone : Metrics.counter
 val recovery_undone : Metrics.counter
+val recovery_pages_on_demand : Metrics.counter
+val recovery_redo_partitions : Metrics.counter
+val recovery_backlog : Metrics.gauge
 
 (** {1 As-of snapshots} *)
 

@@ -42,8 +42,11 @@ type analysis = {
 }
 
 (* Analysis only needs record headers (txn, kind, page); the one exception
-   is checkpoint records, whose embedded tables require a decode — the
-   on-demand thunk provides it.  Everything else is peeked, so the scan
+   is checkpoint records, whose embedded tables require a decode.  The
+   master checkpoint — always the first record of the range — is decoded
+   once up front (through the record LRU, so repeated analyses for snapshot
+   creation and restart reuse the decode); any later checkpoints inside the
+   range use the on-demand thunk.  Everything else is peeked, so the scan
    never allocates row payloads. *)
 let analyze ~log ~start ~upto =
   let losers = Hashtbl.create 16 in
@@ -67,21 +70,34 @@ let analyze ~log ~start ~upto =
     in
     Hashtbl.replace pages (Page_id.to_int page) ()
   in
-  Log_manager.iter_range_peek log ~from:start ~upto (fun lsn pk decode ->
+  let seed_checkpoint r =
+    match r.Log_record.body with
+    | Log_record.Checkpoint { active_txns; dirty_pages = dpt; _ } ->
+        List.iter
+          (fun (t, last) ->
+            see_txn t;
+            if not (Hashtbl.mem losers t) then Hashtbl.replace losers t last)
+          active_txns;
+        List.iter (fun (page, rec_lsn) -> see_page page rec_lsn) dpt
+    | _ -> assert false
+  in
+  let scan_from =
+    if Lsn.(start >= upto) || not (Log_manager.mem log start) then start
+    else
+      let pk = Log_manager.peek_record log start in
+      match pk.Log_record.p_kind with
+      | Log_record.K_checkpoint ->
+          incr scanned;
+          seed_checkpoint (Log_manager.read log start);
+          Log_manager.next_lsn_after log start
+      | _ -> start
+  in
+  Log_manager.iter_range_peek log ~from:scan_from ~upto (fun lsn pk decode ->
       incr scanned;
       let txn = pk.Log_record.p_txn in
       see_txn txn;
       match pk.Log_record.p_kind with
-      | Log_record.K_checkpoint -> (
-          match (decode ()).Log_record.body with
-          | Log_record.Checkpoint { active_txns; dirty_pages = dpt; _ } ->
-              List.iter
-                (fun (t, last) ->
-                  see_txn t;
-                  if not (Hashtbl.mem losers t) then Hashtbl.replace losers t last)
-                active_txns;
-              List.iter (fun (page, rec_lsn) -> see_page page rec_lsn) dpt
-          | _ -> assert false)
+      | Log_record.K_checkpoint -> seed_checkpoint (decode ())
       | Log_record.K_begin -> Hashtbl.replace losers txn lsn
       | Log_record.K_commit | Log_record.K_end -> Hashtbl.remove losers txn
       | Log_record.K_abort -> if Hashtbl.mem losers txn then Hashtbl.replace losers txn lsn
@@ -132,6 +148,219 @@ let redo_pass ~log ~pool ~analysis ~upto =
                         end))
             | _ -> assert false)
         | _ -> ());
+  !redone
+
+(* Partition-parallel redo.  The log scan and page fetches stay on the
+   calling domain (priced I/O, caches and the buffer pool are not
+   domain-safe); record decode and the page mutations fan out.  The gather
+   phase applies exactly the sequential pass's peek-filter, so the two
+   variants price identical log I/O; pages are then partitioned by id
+   across [domains] partitions, each applying its pages' operations in LSN
+   order.  Pages are disjoint across partitions, raw record bytes are
+   immutable and [Log_record.decode] is pure, so the workers share nothing
+   mutable but the pages they own — the result is byte-identical to the
+   sequential pass.  [domains] fixes the partition COUNT (and therefore
+   the work split); how many domains actually run them is a separate
+   fan-out knob, clamped to the host's core count (see [set_redo_fanout]),
+   with partitions assigned round-robin so any fan-out yields the same
+   pages. *)
+(* A process-global pool of redo worker domains.  [Domain.spawn] costs
+   milliseconds on a loaded machine — more than an entire small restart —
+   so spawning per batch would make parallel redo slower than sequential.
+   Workers are spawned once, on first use, and parked on a condition
+   variable between restarts (an idle blocked domain does not prevent
+   process exit); a wake/claim/report round-trip is a few microseconds.
+   Each generation publishes one job closure and [parts - 1] participant
+   indexes (the calling domain runs index 0 itself); every worker claims
+   at most one index per generation, so the caller must ensure at least
+   [parts - 1] workers exist before publishing. *)
+module Redo_pool = struct
+  let m = Mutex.create ()
+  let work_ready = Condition.create ()
+  let work_done = Condition.create ()
+  let job : (int -> unit) option ref = ref None
+  let generation = ref 0
+  let next_part = ref 1
+  let parts = ref 0
+  let pending = ref 0
+  let failure = ref None
+  let spawned = ref 0
+
+  let worker () =
+    let seen = ref 0 in
+    Mutex.lock m;
+    while true do
+      while !generation = !seen do
+        Condition.wait work_ready m
+      done;
+      seen := !generation;
+      (* A worker that wakes after every index is claimed just waits for
+         the next generation. *)
+      if !next_part < !parts then begin
+        let idx = !next_part in
+        incr next_part;
+        let f = Option.get !job in
+        Mutex.unlock m;
+        (try f idx
+         with e ->
+           Mutex.lock m;
+           if !failure = None then failure := Some e;
+           Mutex.unlock m);
+        Mutex.lock m;
+        decr pending;
+        if !pending = 0 then Condition.broadcast work_done
+      end
+    done
+
+  let ensure_workers n =
+    while !spawned < n do
+      ignore (Domain.spawn worker);
+      incr spawned
+    done
+
+  (* Run [f 0] .. [f (participants - 1)] concurrently, [f 0] on the
+     calling domain, and return once all have finished.  Re-raises the
+     first worker exception after the barrier. *)
+  let run ~participants f =
+    ensure_workers (participants - 1);
+    Mutex.lock m;
+    job := Some f;
+    parts := participants;
+    next_part := 1;
+    pending := participants - 1;
+    failure := None;
+    incr generation;
+    Condition.broadcast work_ready;
+    Mutex.unlock m;
+    f 0;
+    Mutex.lock m;
+    while !pending > 0 do
+      Condition.wait work_done m
+    done;
+    let fail = !failure in
+    job := None;
+    Mutex.unlock m;
+    match fail with Some e -> raise e | None -> ()
+end
+
+(* How many domains (including the caller) actually run concurrently.
+   Partition COUNT is fixed by [redo_domains] — that is what determinism
+   and the byte-equality contract are stated over — but running more
+   workers than cores is pure loss (domains timeslice one core and every
+   minor GC pays a stop-the-world rendezvous across all of them), so the
+   fan-out is capped at [Domain.recommended_domain_count] and workers
+   process partitions round-robin.  On a 1-core host the partitions are
+   applied on the calling domain alone — still faster than the sequential
+   pass, which pays a pool fetch, a latch and a dirty-table update per
+   RECORD where the partitioned layout pays them per page per batch. *)
+let redo_fanout = ref None
+let set_redo_fanout cap = redo_fanout := cap
+
+let effective_fanout domains =
+  let cap =
+    match !redo_fanout with Some c -> c | None -> Domain.recommended_domain_count ()
+  in
+  max 1 (min domains cap)
+
+(* One gathered redo record: ops stay decoded when the apply runs on the
+   calling domain (warm record-cache hits cost nothing), but cross domains
+   as encoded bytes — [Log_record.decode] is pure, so workers decode their
+   own pages' records in parallel, which is most of redo's CPU. *)
+type redo_item = Decoded of Log_record.op | Raw of string
+
+let redo_parallel ~log ~pool ~analysis ~upto ~domains =
+  let fanout = effective_fanout domains in
+  (* The gather scan stays on the calling domain (the log manager's caches
+     are single-domain): it peeks headers and keeps only the records that
+     qualify under the sequential pass's exact filter. *)
+  let work = Hashtbl.create 64 in
+  let keep page lsn item =
+    let k = Page_id.to_int page in
+    let prev = Option.value (Hashtbl.find_opt work k) ~default:[] in
+    Hashtbl.replace work k ((lsn, item) :: prev)
+  in
+  let qualifies lsn pk =
+    Log_record.is_page_kind pk.Log_record.p_kind
+    &&
+    match Hashtbl.find_opt analysis.dirty_pages (Page_id.to_int pk.Log_record.p_page) with
+    | Some rec_lsn -> Lsn.(lsn >= rec_lsn)
+    | None -> false
+  in
+  if fanout > 1 then
+    Log_manager.iter_range_raw log ~from:analysis.redo_start ~upto (fun lsn pk raw ->
+        if qualifies lsn pk then keep pk.Log_record.p_page lsn (Raw (raw ())))
+  else
+    Log_manager.iter_range_peek log ~from:analysis.redo_start ~upto (fun lsn pk decode ->
+        if qualifies lsn pk then
+          match (decode ()).Log_record.body with
+          | Log_record.Page_op { op; _ } | Log_record.Clr { op; _ } ->
+              keep pk.Log_record.p_page lsn (Decoded op)
+          | _ -> assert false);
+  let pages =
+    Hashtbl.fold (fun k ops acc -> (k, List.rev ops) :: acc) work []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  (* Batched so the pinned set never overwhelms the pool: each batch pins
+     its pages, fans the replay out, then marks dirty and unpins. *)
+  let batch_size = max 1 (Buffer_pool.capacity pool / 2) in
+  let redone = ref 0 in
+  let op_of = function
+    | Decoded op -> op
+    | Raw raw -> (
+        match (Log_record.decode raw).Log_record.body with
+        | Log_record.Page_op { op; _ } | Log_record.Clr { op; _ } -> op
+        | _ -> assert false)
+  in
+  let apply_item (k, pg, items, first, count) =
+    let pid = Page_id.of_int k in
+    List.iter
+      (fun (lsn, item) ->
+        if Lsn.(Page.lsn pg < lsn) then begin
+          Log_record.redo pid (op_of item) pg;
+          Page.set_lsn pg lsn;
+          if Lsn.is_nil !first then first := lsn;
+          incr count
+        end)
+      items
+  in
+  let rec split n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> split (n - 1) (x :: acc) rest
+  in
+  let rec batches = function
+    | [] -> ()
+    | remaining ->
+        let batch, rest = split batch_size [] remaining in
+        let items =
+          List.map
+            (fun (k, ops) ->
+              let frame = Buffer_pool.fetch pool (Page_id.of_int k) in
+              (frame, (k, Buffer_pool.page frame, ops, ref Lsn.nil, ref 0)))
+            batch
+        in
+        let parts = Array.make domains [] in
+        List.iter
+          (fun (_, ((k, _, _, _, _) as item)) ->
+            let i = k mod domains in
+            parts.(i) <- item :: parts.(i))
+          items;
+        Redo_pool.run ~participants:fanout (fun i ->
+            let j = ref i in
+            while !j < domains do
+              List.iter apply_item parts.(!j);
+              j := !j + fanout
+            done);
+        List.iter
+          (fun (frame, (_, _, _, first, count)) ->
+            if !count > 0 then Buffer_pool.mark_dirty pool frame ~lsn:!first;
+            redone := !redone + !count;
+            Buffer_pool.unpin pool frame)
+          items;
+        batches rest
+  in
+  batches pages;
+  Obs.add Probes.recovery_redo_partitions domains;
   !redone
 
 let undo_losers ~log ~losers ~write_clr ~apply =
@@ -198,13 +427,17 @@ let undo_losers ~log ~losers ~write_clr ~apply =
 
 type stats = {
   analysis : analysis;
-  redone_ops : int;
-  undone_ops : int;
-  ended_losers : int;
+  mutable redone_ops : int;
+  mutable undone_ops : int;
+  mutable ended_losers : int;
   tail_truncated : (Lsn.t * int) option;
+  mutable analysis_us : float;
+  mutable time_to_first_query_us : float;
+  mutable time_to_full_recovery_us : float;
 }
 
-let recover ~log ~pool =
+let recover ?(redo_domains = 1) ?(now_us = fun () -> 0.0) ~log ~pool () =
+  let t0 = now_us () in
   (* Before trusting the log, validate the crash-time tail: a torn record
      (and anything after it) is discarded so the scans below only ever see
      whole records — instead of dying mid-analysis on a decode failure. *)
@@ -216,15 +449,19 @@ let recover ~log ~pool =
   let upto = Log_manager.end_lsn log in
   let ts = if Trace.on () then Trace.now () else 0.0 in
   let analysis = analyze ~log ~start ~upto in
+  let analysis_us = now_us () -. t0 in
   if Trace.on () then
     Trace.complete ~cat:"recovery" ~ts
       ~args:[ ("records_scanned", Trace.Int analysis.records_scanned) ]
       "recovery.analysis";
   let ts = if Trace.on () then Trace.now () else 0.0 in
-  let redone_ops = redo_pass ~log ~pool ~analysis ~upto in
+  let redone_ops =
+    if redo_domains > 1 then redo_parallel ~log ~pool ~analysis ~upto ~domains:redo_domains
+    else redo_pass ~log ~pool ~analysis ~upto
+  in
   if Trace.on () then
     Trace.complete ~cat:"recovery" ~ts
-      ~args:[ ("redone_ops", Trace.Int redone_ops) ]
+      ~args:[ ("redone_ops", Trace.Int redone_ops); ("domains", Trace.Int redo_domains) ]
       "recovery.redo";
   let ended_losers = Hashtbl.length analysis.losers in
   let apply pid f =
@@ -250,4 +487,320 @@ let recover ~log ~pool =
   Obs.incr Probes.recovery_runs;
   Obs.add Probes.recovery_redone redone_ops;
   Obs.add Probes.recovery_undone undone_ops;
-  { analysis; redone_ops; undone_ops; ended_losers; tail_truncated }
+  let total = now_us () -. t0 in
+  {
+    analysis;
+    redone_ops;
+    undone_ops;
+    ended_losers;
+    tail_truncated;
+    analysis_us;
+    time_to_first_query_us = total;
+    time_to_full_recovery_us = total;
+  }
+
+(* --- instant restart: open after analysis, recover pages on first touch --- *)
+
+module Instant = struct
+  type io = {
+    io_read : Page_id.t -> Page.t;
+    io_write : Page_id.t -> Page.t -> unit;
+    io_wal_flush : Lsn.t -> unit;
+  }
+
+  type t = {
+    log : Log_manager.t;
+    horizon : Lsn.t;
+    stats : stats;
+    pending : (int, unit) Hashtbl.t;
+    loser_pages : (Txn_id.t, (int, unit) Hashtbl.t) Hashtbl.t;
+    open_losers : (Txn_id.t, Lsn.t) Hashtbl.t;
+    now_us : unit -> float;
+    t_start_us : float;
+    mutable io : io option;
+    mutable touching : bool;
+  }
+
+  let backlog t = Hashtbl.length t.pending
+  let pending_page t pid = Hashtbl.mem t.pending (Page_id.to_int pid)
+  let stats t = t.stats
+  let on_demand_pages t = t.stats.redone_ops
+
+  (* Every page an in-flight transaction touched, including before the
+     analysis start: the scanned region's [txn_pages] only covers records
+     at or after the master checkpoint, so walk the rest of the chain. *)
+  let txn_page_set ~log ~analysis txn last =
+    let pages =
+      match Hashtbl.find_opt analysis.txn_pages txn with
+      | Some h -> Hashtbl.copy h
+      | None -> Hashtbl.create 8
+    in
+    let rec walk lsn =
+      if not (Lsn.is_nil lsn) then begin
+        let r = Log_manager.read log lsn in
+        (match r.Log_record.body with
+        | Log_record.Page_op { page; _ } | Log_record.Clr { page; _ } ->
+            Hashtbl.replace pages (Page_id.to_int page) ()
+        | _ -> ());
+        match r.Log_record.body with
+        | Log_record.Begin -> ()
+        | _ -> walk r.Log_record.prev_txn_lsn
+      end
+    in
+    walk last;
+    pages
+
+  let open_ ?(now_us = fun () -> 0.0) ~log () =
+    let t_start_us = now_us () in
+    let tail_truncated = Log_manager.repair_tail log in
+    let start =
+      let c = Log_manager.last_checkpoint log in
+      if Lsn.is_nil c then Log_manager.first_lsn log else c
+    in
+    let horizon = Log_manager.end_lsn log in
+    let ts = if Trace.on () then Trace.now () else 0.0 in
+    let analysis = analyze ~log ~start ~upto:horizon in
+    let analysis_us = now_us () -. t_start_us in
+    if Trace.on () then
+      Trace.complete ~cat:"recovery" ~ts
+        ~args:[ ("records_scanned", Trace.Int analysis.records_scanned) ]
+        "recovery.analysis";
+    let pending = Hashtbl.create 64 in
+    Hashtbl.iter (fun k _ -> Hashtbl.replace pending k ()) analysis.dirty_pages;
+    let loser_pages = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun txn last ->
+        let pages = txn_page_set ~log ~analysis txn last in
+        Hashtbl.iter (fun k () -> Hashtbl.replace pending k ()) pages;
+        Hashtbl.replace loser_pages txn pages)
+      analysis.losers;
+    let stats =
+      {
+        analysis;
+        redone_ops = 0;
+        undone_ops = 0;
+        ended_losers = 0;
+        tail_truncated;
+        analysis_us;
+        time_to_first_query_us = 0.0;
+        time_to_full_recovery_us = 0.0;
+      }
+    in
+    Obs.incr Probes.recovery_runs;
+    Obs.gauge_add Probes.recovery_backlog (float_of_int (Hashtbl.length pending));
+    {
+      log;
+      horizon;
+      stats;
+      pending;
+      loser_pages;
+      open_losers = Hashtbl.copy analysis.losers;
+      now_us;
+      t_start_us;
+      io = None;
+      touching = false;
+    }
+
+  let attach t ~read ~write ~wal_flush =
+    t.io <- Some { io_read = read; io_write = write; io_wal_flush = wal_flush }
+
+  let mark_full_recovery t =
+    if t.stats.time_to_full_recovery_us = 0.0 then
+      t.stats.time_to_full_recovery_us <- t.now_us () -. t.t_start_us
+
+  let mark_open t =
+    if t.stats.time_to_first_query_us = 0.0 then
+      t.stats.time_to_first_query_us <- t.now_us () -. t.t_start_us;
+    if backlog t = 0 then mark_full_recovery t
+
+  (* A base record (Full_image, Format) fully determines the page by redo
+     alone, so replay can start at the newest one instead of the page's
+     stored LSN — capping per-page work at the FPI interval. *)
+  let is_base = function
+    | Log_record.K_page_op (Log_record.K_full_image | Log_record.K_format)
+    | Log_record.K_clr (Log_record.K_full_image | Log_record.K_format) ->
+        true
+    | _ -> false
+
+  (* Redo one page in place: replay its backward chain over (page-LSN,
+     horizon].  Records at or below the stored page LSN are already
+     reflected in the image (redo idempotency, exactly as in the full redo
+     pass); the chain walk reads only this page's records. *)
+  let redo_page t pid p =
+    let chain = Log_manager.chain_segment t.log pid ~from:t.horizon ~down_to:(Page.lsn p) in
+    let n = Array.length chain in
+    let applied = ref 0 in
+    if n > 0 then begin
+      let base = ref 0 in
+      (try
+         for i = n - 1 downto 0 do
+           if is_base (Log_manager.peek_record t.log chain.(i)).Log_record.p_kind then begin
+             base := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let suffix = Array.sub chain !base (n - !base) in
+      let records = Log_manager.read_segment t.log suffix in
+      Array.iteri
+        (fun i r ->
+          let lsn = suffix.(i) in
+          if Lsn.(Page.lsn p < lsn) then
+            match Log_record.op_of r with
+            | Some op ->
+                Log_record.redo pid op p;
+                Page.set_lsn p lsn;
+                incr applied
+            | None -> ())
+        records;
+      t.stats.redone_ops <- t.stats.redone_ops + !applied;
+      Obs.add Probes.recovery_redone !applied
+    end;
+    !applied
+
+  (* The recovery unit is a page group: the requested page plus, transitively,
+     every page sharing an in-flight transaction with one already in the
+     group.  Undoing a loser must be all-or-nothing — its CLR chain walks the
+     whole transaction newest-first, so a partially-undone transaction would
+     leave [undo_next] pointing into territory a later crash recovery could
+     not interpret — and that can force sibling pages into the same unit. *)
+  let group_of t pid0 =
+    let pages = Hashtbl.create 8 in
+    let txns = Hashtbl.create 4 in
+    Hashtbl.replace pages (Page_id.to_int pid0) ();
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Hashtbl.iter
+        (fun txn tpages ->
+          if not (Hashtbl.mem txns txn) then
+            if Hashtbl.fold (fun k () acc -> acc || Hashtbl.mem pages k) tpages false then begin
+              Hashtbl.replace txns txn ();
+              changed := true;
+              Hashtbl.iter (fun k () -> Hashtbl.replace pages k ()) tpages
+            end)
+        t.loser_pages
+    done;
+    (pages, txns)
+
+  (* Recover one page group: read every page (any already-read seed page is
+     reused), redo each to the horizon, undo the group's losers with CLRs
+     and End records, then publish — force the log covering everything just
+     applied and write the pages back (WAL rule), so the recovered images
+     are durable and the pages leave the backlog exactly once. *)
+  let recover_group t ~on_demand pid0 seed_page =
+    let io =
+      match t.io with
+      | Some io -> io
+      | None -> invalid_arg "Recovery.Instant: no page I/O attached"
+    in
+    let ts = if Trace.on () then Trace.now () else 0.0 in
+    let pages, txns = group_of t pid0 in
+    let local = Hashtbl.create 8 in
+    (match seed_page with
+    | Some p -> Hashtbl.replace local (Page_id.to_int pid0) p
+    | None -> ());
+    let get k =
+      match Hashtbl.find_opt local k with
+      | Some p -> p
+      | None ->
+          let p = io.io_read (Page_id.of_int k) in
+          Hashtbl.replace local k p;
+          p
+    in
+    let sorted = Hashtbl.fold (fun k () acc -> k :: acc) pages [] |> List.sort compare in
+    (* Read everything first: page I/O failures (quarantine) must surface
+       before the first CLR is appended, keeping undo all-or-nothing. *)
+    List.iter (fun k -> ignore (get k)) sorted;
+    let changed = Hashtbl.create 8 in
+    List.iter
+      (fun k -> if redo_page t (Page_id.of_int k) (get k) > 0 then Hashtbl.replace changed k ())
+      sorted;
+    if Hashtbl.length txns > 0 then begin
+      let subset = Hashtbl.create 4 in
+      Hashtbl.iter
+        (fun txn () ->
+          match Hashtbl.find_opt t.open_losers txn with
+          | Some last -> Hashtbl.replace subset txn last
+          | None -> ())
+        txns;
+      let apply pid f =
+        let p = get (Page_id.to_int pid) in
+        match f p with
+        | Some lsn ->
+            Page.set_lsn p lsn;
+            Hashtbl.replace changed (Page_id.to_int pid) ()
+        | None -> ()
+      in
+      let undone = undo_losers ~log:t.log ~losers:subset ~write_clr:true ~apply in
+      t.stats.undone_ops <- t.stats.undone_ops + undone;
+      Obs.add Probes.recovery_undone undone;
+      Hashtbl.iter
+        (fun txn () ->
+          if Hashtbl.mem t.open_losers txn then begin
+            Hashtbl.remove t.open_losers txn;
+            Hashtbl.remove t.loser_pages txn;
+            t.stats.ended_losers <- t.stats.ended_losers + 1
+          end)
+        txns
+    end;
+    (* Publish: WAL rule first, then write back every page whose image the
+       redo or undo actually changed. *)
+    let max_lsn =
+      Hashtbl.fold (fun k () acc -> Lsn.max acc (Page.lsn (get k))) changed Lsn.nil
+    in
+    if not (Lsn.is_nil max_lsn) then io.io_wal_flush max_lsn;
+    let published = ref 0 in
+    List.iter
+      (fun k ->
+        if Hashtbl.mem changed k then io.io_write (Page_id.of_int k) (get k);
+        if Hashtbl.mem t.pending k then begin
+          Hashtbl.remove t.pending k;
+          incr published;
+          Obs.gauge_add Probes.recovery_backlog (-1.0);
+          if on_demand then Obs.incr Probes.recovery_pages_on_demand
+        end)
+      sorted;
+    if Trace.on () then
+      Trace.complete ~cat:"recovery" ~ts
+        ~args:
+          [
+            ("page", Trace.Int (Page_id.to_int pid0));
+            ("group", Trace.Int (List.length sorted));
+            ("on_demand", Trace.Int (if on_demand then 1 else 0));
+          ]
+        "recovery.first_touch";
+    if backlog t = 0 then mark_full_recovery t;
+    (Hashtbl.find local (Page_id.to_int pid0), !published)
+
+  let touch t pid page =
+    if t.touching || not (pending_page t pid) then page
+    else begin
+      t.touching <- true;
+      Fun.protect
+        ~finally:(fun () -> t.touching <- false)
+        (fun () -> fst (recover_group t ~on_demand:true pid (Some page)))
+    end
+
+  let drain t ~max_pages =
+    let published = ref 0 in
+    let unpend k =
+      if Hashtbl.mem t.pending k then begin
+        Hashtbl.remove t.pending k;
+        incr published;
+        Obs.gauge_add Probes.recovery_backlog (-1.0)
+      end
+    in
+    while !published < max_pages && backlog t > 0 do
+      let k = Hashtbl.fold (fun k () acc -> min k acc) t.pending max_int in
+      match recover_group t ~on_demand:false (Page_id.of_int k) None with
+      | _, n -> published := !published + n
+      | exception Page_repair.Quarantined qpid ->
+          (* Give up on the damaged page so the rest of the backlog still
+             drains; reads of it keep failing with the typed error. *)
+          unpend (Page_id.to_int qpid);
+          unpend k
+    done;
+    if backlog t = 0 then mark_full_recovery t;
+    !published
+end

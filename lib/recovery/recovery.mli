@@ -3,7 +3,12 @@
     Recovery is the substrate the paper builds on: the as-of snapshot
     machinery reuses {!analyze} (bounded at the SplitLSN) and the same
     loser-undo walk, while crash recovery proper guarantees the primary
-    database the paper rewinds from is always consistent. *)
+    database the paper rewinds from is always consistent.
+
+    Two restart modes share the analysis pass: {!recover} replays
+    everything before returning (optionally fanning redo out over OCaml 5
+    domains), and {!Instant} opens the engine right after analysis and
+    recovers pages on first touch or via a background drain. *)
 
 val checkpoint :
   log:Rw_wal.Log_manager.t ->
@@ -35,8 +40,9 @@ type analysis = {
 val analyze :
   log:Rw_wal.Log_manager.t -> start:Rw_storage.Lsn.t -> upto:Rw_storage.Lsn.t -> analysis
 (** Scan forward from [start] (normally the master checkpoint; its record
-    seeds the tables) up to, excluding, [upto].  The scan is header-only
-    (peek-based); only checkpoint records are decoded. *)
+    seeds the tables, decoded once up front through the record LRU so
+    repeated analyses skip the decode) up to, excluding, [upto].  The scan
+    is header-only (peek-based); only checkpoint records are decoded. *)
 
 val loser_pages : analysis -> Rw_storage.Page_id.t list
 (** Distinct pages touched by surviving losers within the scanned region —
@@ -45,22 +51,55 @@ val loser_pages : analysis -> Rw_storage.Page_id.t list
 
 type stats = {
   analysis : analysis;
-  redone_ops : int;
-  undone_ops : int;
-  ended_losers : int;
+  mutable redone_ops : int;
+  mutable undone_ops : int;
+  mutable ended_losers : int;
   tail_truncated : (Rw_storage.Lsn.t * int) option;
       (** where the torn-tail scan truncated the log, and how many records
           it dropped ([None] if the tail was clean) *)
+  mutable analysis_us : float;  (** simulated time spent in tail repair + analysis *)
+  mutable time_to_first_query_us : float;
+      (** simulated time from restart until the engine could serve a query:
+          the whole of recovery for {!recover}, analysis + engine open for
+          {!Instant} *)
+  mutable time_to_full_recovery_us : float;
+      (** simulated time from restart until every page was recovered (equal
+          to [time_to_first_query_us] for {!recover}; stamped when the
+          instant-restart backlog drains to zero) *)
 }
 
-val recover : log:Rw_wal.Log_manager.t -> pool:Rw_buffer.Buffer_pool.t -> stats
+val recover :
+  ?redo_domains:int ->
+  ?now_us:(unit -> float) ->
+  log:Rw_wal.Log_manager.t ->
+  pool:Rw_buffer.Buffer_pool.t ->
+  unit ->
+  stats
 (** Full crash recovery on the primary database: first validate the log
     tail record-by-record and truncate at the first torn record
     ([Log_manager.repair_tail]), then analysis from the master checkpoint
     to the end of the (durable) log, redo of missing updates, and rollback
     of losers with compensation records.  The caller should take a
     checkpoint afterwards and seed its transaction-id counter above
-    [stats.analysis.max_txn_id]. *)
+    [stats.analysis.max_txn_id].
+
+    [redo_domains] > 1 partitions the dirty-page table by page id into that
+    many partitions and fans the record decode + page application out over
+    worker domains (the log scan and page I/O stay on the calling domain);
+    partitions are disjoint by construction, so the resulting pages are
+    byte-identical to the sequential pass.  The number of domains actually
+    running concurrently is capped at {!Domain.recommended_domain_count}
+    (see {!set_redo_fanout}); the partition count — and therefore the
+    result — is not affected by the cap.  [now_us] (normally the simulated
+    clock) stamps the timing fields of {!stats}. *)
+
+val set_redo_fanout : int option -> unit
+(** Override the concurrent-worker cap used by parallel redo: [Some n]
+    runs at most [n] domains (including the caller), [None] (the default)
+    uses [Domain.recommended_domain_count ()].  Partition assignment is
+    round-robin over the fan-out, so results are identical under any cap;
+    tests use [Some n] to force true cross-domain execution on small
+    hosts. *)
 
 val undo_losers :
   log:Rw_wal.Log_manager.t ->
@@ -74,3 +113,61 @@ val undo_losers :
     undo, which must not write to the primary log).  [apply pid f] presents
     the page; [f] returns the new page LSN to stamp, if any.  Returns the
     number of operations undone. *)
+
+(** Instant restart: open the engine after tail repair + analysis alone and
+    recover pages lazily.  {!open_} builds the backlog (analysis dirty-page
+    table plus every page an in-flight transaction touched); the engine then
+    wires {!touch} into its buffer-pool source so the first fetch of a
+    backlog page redoes it to end-of-log and undoes its losers before the
+    page is handed out, and a background sweeper calls {!drain} to retire
+    the rest.  Time-to-first-query becomes O(analysis) instead of O(log). *)
+module Instant : sig
+  type t
+
+  val open_ : ?now_us:(unit -> float) -> log:Rw_wal.Log_manager.t -> unit -> t
+  (** Repair the log tail, run analysis, and compute the recovery backlog.
+      No page is read or written; callers attach page I/O with {!attach}
+      before the first {!touch} or {!drain}. *)
+
+  val attach :
+    t ->
+    read:(Rw_storage.Page_id.t -> Rw_storage.Page.t) ->
+    write:(Rw_storage.Page_id.t -> Rw_storage.Page.t -> unit) ->
+    wal_flush:(Rw_storage.Lsn.t -> unit) ->
+    unit
+  (** Provide the page I/O used to recover groups: [read]/[write] against
+      the underlying (self-healing) disk source, [wal_flush] to honour the
+      WAL rule before recovered pages are written back. *)
+
+  val stats : t -> stats
+  (** Live statistics; [redone_ops]/[undone_ops]/[ended_losers] grow as the
+      backlog drains, and the timing fields are stamped by {!mark_open} and
+      by whichever touch or drain empties the backlog. *)
+
+  val backlog : t -> int
+  (** Pages still awaiting recovery. *)
+
+  val pending_page : t -> Rw_storage.Page_id.t -> bool
+  (** Is this page still in the backlog?  (The buffer-pool wrapper's fast
+      path: one hash probe per fetch miss.) *)
+
+  val mark_open : t -> unit
+  (** Stamp [time_to_first_query_us]; the engine calls this once the
+      database object is fully assembled and able to serve queries. *)
+
+  val touch : t -> Rw_storage.Page_id.t -> Rw_storage.Page.t -> Rw_storage.Page.t
+  (** First-touch recovery: if the page is pending, recover its whole group
+      (see DESIGN.md §12 — every in-flight transaction overlapping the
+      group is undone completely before any page is published) and return
+      the recovered image; otherwise return the page unchanged. *)
+
+  val drain : t -> max_pages:int -> int
+  (** Recover up to [max_pages] backlog pages (whole groups at a time,
+      lowest page id first); returns how many left the backlog.  A
+      quarantined page is dropped from the backlog rather than wedging the
+      drain.  The background sweeper and the pre-checkpoint barrier both
+      use this. *)
+
+  val on_demand_pages : t -> int
+  (** Operations redone so far (diagnostic). *)
+end

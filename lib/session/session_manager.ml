@@ -103,11 +103,21 @@ let step t s =
   s.s_steps <- s.s_steps + 1;
   s.s_busy_us <- s.s_busy_us +. (Sim_clock.now_us t.clock -. t0)
 
+(* Pages the background sweeper retires between scheduler rounds after an
+   instant restart: small, so recovery work interleaves with foreground
+   traffic instead of stalling it. *)
+let sweep_pages_per_round = 4
+
 let run t ~rounds =
   for _ = 1 to rounds do
     (* Bind the round's roster up front: a step may open or close
        sessions; newcomers join in the next round, departures are
        skipped for the rest of this one. *)
     let roster = t.sessions in
-    List.iter (fun s -> if s.s_open then step t s) roster
+    List.iter (fun s -> if s.s_open then step t s) roster;
+    (* Background sweeper: after an instant restart, each round retires a
+       little of the recovery backlog so the engine reaches full
+       consistency even on pages no session ever touches. *)
+    if Database.recovery_backlog t.db > 0 then
+      ignore (Database.recovery_drain_step ~max_pages:sweep_pages_per_round t.db)
   done

@@ -48,7 +48,10 @@ val close : t -> session -> unit
 val run : t -> rounds:int -> unit
 (** Round-robin interleave: [rounds] times, give every live session one
     step in open order.  Sessions opened by a step join the next round;
-    sessions closed by a step stop stepping immediately. *)
+    sessions closed by a step stop stepping immediately.  After each round,
+    if the primary carries an instant-restart backlog
+    ({!Rw_engine.Database.recovery_backlog}), a background sweeper retires a
+    few of its pages, so recovery completes even without traffic. *)
 
 (** {1 Introspection} *)
 

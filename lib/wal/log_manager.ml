@@ -702,6 +702,15 @@ let iter_range_peek t ~from ~upto f =
       charge_seq t (rec_len s i);
       f lsn (rec_peek s i) (fun () -> decode_cached t s i))
 
+(* Raw variant for consumers that ship the encoded bytes elsewhere to
+   decode (domain-parallel redo): same order and pricing as
+   [iter_range_peek], but the thunk copies the encoded record out instead
+   of decoding it, so the (single-domain) record cache is not involved. *)
+let iter_range_raw t ~from ~upto f =
+  iter_from t (global_lower t from) ~upto (fun s i lsn ->
+      charge_seq t (rec_len s i);
+      f lsn (rec_peek s i) (fun () -> rec_data s i))
+
 let iter_range_rev t ~from ~upto f =
   let from_i = Lsn.to_int (Lsn.max from t.truncated_below) in
   let start =

@@ -123,6 +123,17 @@ val iter_range_peek :
     filter on page/kind — recovery analysis, redo — avoid decoding the
     records they skip. *)
 
+val iter_range_raw :
+  t ->
+  from:Rw_storage.Lsn.t ->
+  upto:Rw_storage.Lsn.t ->
+  (Rw_storage.Lsn.t -> Log_record.peek -> (unit -> string) -> unit) ->
+  unit
+(** Like {!iter_range_peek} but the thunk returns the record's encoded
+    bytes instead of decoding them.  For consumers that decode on another
+    domain ({!Log_record.decode} is pure): the single-domain decoded-record
+    cache stays untouched. *)
+
 val iter_range_rev :
   t -> from:Rw_storage.Lsn.t -> upto:Rw_storage.Lsn.t -> (Rw_storage.Lsn.t -> Log_record.t -> unit) -> unit
 (** Same range, reverse order. *)

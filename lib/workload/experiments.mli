@@ -26,6 +26,12 @@ type figure =
           prints the writer-tpmC degradation curve and self-checks every
           reader byte-equal to a solo (uncached) snapshot — exits
           non-zero on mismatch *)
+  | E9
+      (** instant restart: time-to-first-query and time-to-full-recovery
+          vs log length, full-replay restart next to analysis-only instant
+          restart with first-touch recovery; self-checks queries issued
+          during the backlog (and the drained end state) against the fully
+          recovered twin — exits non-zero on mismatch *)
   | Ablation
       (** design-choice ablations: FPI frequency, log cache size, page- vs
           transaction-oriented undo, and proactive copy-on-write snapshots
@@ -87,14 +93,23 @@ type fault_row = {
 
 val fault_row_ok : fault_row -> bool
 
-val crash_repair_run : seed:int -> crash_after:int -> rates:fault_rates -> unit -> fault_row
+val crash_repair_run :
+  ?instant:bool -> seed:int -> crash_after:int -> rates:fault_rates -> unit -> fault_row
 (** Run TPC-C under an active fault plan, crash after [crash_after]
     committed transactions (with one more left in flight), recover, scrub,
     and compare current state and a mid-history as-of query against a
-    fault-free oracle run driven by the same seed. *)
+    fault-free oracle run driven by the same seed.  With [instant] the
+    reopen uses instant restart: the loser-gone and a stock-level probe are
+    additionally checked {e during} the recovery backlog, before it is
+    drained for the oracle comparison. *)
 
 val crash_repair_campaign :
-  ?seeds:int list -> ?crash_points:int -> ?rates:fault_rates -> ?quick:bool -> unit ->
+  ?instant:bool ->
+  ?seeds:int list ->
+  ?crash_points:int ->
+  ?rates:fault_rates ->
+  ?quick:bool ->
+  unit ->
   fault_row list
 (** {!crash_repair_run} at [crash_points] seed-derived crash points for
     each seed (defaults: 3 seeds x 4 points). *)

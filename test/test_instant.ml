@@ -1,0 +1,260 @@
+(* Instant restart tests: open-after-analysis, first-touch recovery,
+   background sweeping, checkpoint barriers, and domain-parallel redo
+   equivalence with sequential replay. *)
+
+module Lsn = Rw_storage.Lsn
+module Media = Rw_storage.Media
+module Page = Rw_storage.Page
+module Page_id = Rw_storage.Page_id
+module Disk = Rw_storage.Disk
+module Sim_clock = Rw_storage.Sim_clock
+module Log_manager = Rw_wal.Log_manager
+module Recovery = Rw_recovery.Recovery
+module Database = Rw_engine.Database
+module Row = Rw_engine.Row
+module Schema = Rw_catalog.Schema
+module Session_manager = Rw_session.Session_manager
+module Metrics = Rw_obs.Metrics
+module Probes = Rw_obs.Probes
+module Experiments = Rw_workload.Experiments
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let cols =
+  [ { Schema.name = "id"; ctype = Schema.Int }; { Schema.name = "val"; ctype = Schema.Text } ]
+
+let mk_db ?(name = "inst") ?redo_domains () =
+  let clock = Sim_clock.create () in
+  Database.create ~name ~clock ~media:Media.ram ?redo_domains ()
+
+let seed db n =
+  Database.with_txn db (fun txn ->
+      ignore (Database.create_table db txn ~table:"t" ~columns:cols ());
+      for i = 1 to n do
+        Database.insert db txn ~table:"t" [ Row.Int (Int64.of_int i); Row.Text (Printf.sprintf "v%d" i) ]
+      done)
+
+let churn db rounds =
+  for r = 1 to rounds do
+    Database.with_txn db (fun txn ->
+        for i = 1 to 40 do
+          Database.update db txn ~table:"t"
+            [ Row.Int (Int64.of_int i); Row.Text (Printf.sprintf "r%d-%d" r i) ]
+        done)
+  done
+
+let rows db =
+  let acc = ref [] in
+  Database.scan db ~table:"t" ~f:(fun r -> acc := r :: !acc);
+  List.rev !acc
+
+(* Leave one transaction in flight, durably logged but uncommitted. *)
+let straggle db =
+  let txn = Database.begin_txn db in
+  Database.insert db txn ~table:"t" [ Row.Int 999_999L; Row.Text "loser" ];
+  Database.delete db txn ~table:"t" ~key:7L;
+  Log_manager.flush_all (Database.log db)
+
+let test_instant_basics () =
+  let db = mk_db () in
+  seed db 60;
+  churn db 3;
+  let before = rows db in
+  straggle db;
+  let db = Database.crash_and_reopen ~instant:true db in
+  check "backlog outstanding at open" true (Database.recovery_backlog db > 0);
+  (* Queries during the backlog go through first-touch recovery. *)
+  check "loser insert invisible during backlog" true
+    (Database.get db ~table:"t" ~key:999_999L = None);
+  check "loser delete undone during backlog" true (Database.get db ~table:"t" ~key:7L <> None);
+  check "committed rows all visible during backlog" true (rows db = before);
+  Database.recovery_drain_all db;
+  check_int "backlog drained" 0 (Database.recovery_backlog db);
+  check "state intact after drain" true (rows db = before);
+  match Database.last_recovery_stats db with
+  | None -> Alcotest.fail "expected recovery stats"
+  | Some s ->
+      check "ttfq stamped" true (s.Recovery.time_to_first_query_us > 0.0);
+      check "ttfr stamped" true (s.Recovery.time_to_full_recovery_us > 0.0);
+      check "ttfq <= ttfr" true
+        (s.Recovery.time_to_first_query_us <= s.Recovery.time_to_full_recovery_us)
+
+let test_on_demand_counter () =
+  let db = mk_db () in
+  seed db 40;
+  churn db 2;
+  straggle db;
+  let db = Database.crash_and_reopen ~instant:true db in
+  let before = Metrics.counter_value Probes.recovery_pages_on_demand in
+  ignore (Database.get db ~table:"t" ~key:1L);
+  check "first touch counted as on-demand" true
+    (Metrics.counter_value Probes.recovery_pages_on_demand > before);
+  (* Background draining must not count as on-demand. *)
+  let mid = Metrics.counter_value Probes.recovery_pages_on_demand in
+  Database.recovery_drain_all db;
+  check_int "drain not counted as on-demand" mid
+    (Metrics.counter_value Probes.recovery_pages_on_demand)
+
+let test_matches_full_replay_twin () =
+  let mk () =
+    let db = mk_db () in
+    seed db 80;
+    churn db 4;
+    straggle db;
+    db
+  in
+  let full = Database.crash_and_reopen (mk ()) in
+  let inst = Database.crash_and_reopen ~instant:true (mk ()) in
+  check "twin backlog outstanding" true (Database.recovery_backlog inst > 0);
+  (* Spot reads during the backlog agree with the fully recovered twin. *)
+  List.iter
+    (fun k ->
+      check
+        (Printf.sprintf "key %Ld agrees during backlog" k)
+        true
+        (Database.get inst ~table:"t" ~key:k = Database.get full ~table:"t" ~key:k))
+    [ 1L; 7L; 40L; 80L; 999_999L ];
+  Database.recovery_drain_all inst;
+  check "full table agrees after drain" true (rows inst = rows full)
+
+let test_recrash_mid_backlog () =
+  let db = mk_db () in
+  seed db 60;
+  churn db 3;
+  let before = rows db in
+  straggle db;
+  let db = Database.crash_and_reopen ~instant:true db in
+  check "backlog outstanding" true (Database.recovery_backlog db > 0);
+  (* Touch a little of it, then crash again before the drain finishes. *)
+  ignore (Database.get db ~table:"t" ~key:1L);
+  ignore (Database.recovery_drain_step ~max_pages:2 db);
+  let db = Database.crash_and_reopen db in
+  check "full replay after mid-backlog crash is complete" true (rows db = before);
+  check "loser still gone after re-crash" true (Database.get db ~table:"t" ~key:999_999L = None)
+
+let test_sweeper_drains_backlog () =
+  let db = mk_db () in
+  seed db 60;
+  churn db 3;
+  let before = rows db in
+  straggle db;
+  let db = Database.crash_and_reopen ~instant:true db in
+  check "backlog outstanding" true (Database.recovery_backlog db > 0);
+  let mgr = Session_manager.create db in
+  (* An idle writer: the sweeper alone must retire the backlog. *)
+  let s = Session_manager.open_writer mgr ~name:"idle" ~step:(fun _ -> ()) in
+  Session_manager.run mgr ~rounds:200;
+  Session_manager.close mgr s;
+  check_int "sweeper drained backlog" 0 (Database.recovery_backlog db);
+  check "state intact after sweep" true (rows db = before)
+
+let test_checkpoint_drains_backlog () =
+  let db = mk_db () in
+  seed db 60;
+  churn db 3;
+  straggle db;
+  let db = Database.crash_and_reopen ~instant:true db in
+  check "backlog outstanding" true (Database.recovery_backlog db > 0);
+  ignore (Database.checkpoint db);
+  check_int "checkpoint drained backlog first" 0 (Database.recovery_backlog db)
+
+(* Per-page header fingerprint of everything on the data device: after a
+   full-replay reopen (which checkpoints, flushing every recovered page)
+   any divergence between sequential and parallel redo shows up here. *)
+let disk_fingerprint db =
+  let disk = Database.disk db in
+  let acc = ref [] in
+  for i = 0 to Disk.page_count disk - 1 do
+    let pid = Page_id.of_int i in
+    if Disk.has_page disk pid then begin
+      let p = Disk.read_page_nocost disk pid in
+      acc := (i, Page.lsn p, Page.slot_count p, Page.data_low p, Page.garbage p) :: !acc
+    end
+  done;
+  List.rev !acc
+
+let test_parallel_redo_equals_sequential () =
+  let run domains =
+    let db = mk_db ~name:(Printf.sprintf "dom%d" domains) () in
+    seed db 80;
+    churn db 4;
+    straggle db;
+    let db = Database.crash_and_reopen ~redo_domains:domains db in
+    let stats = Option.get (Database.last_recovery_stats db) in
+    (rows db, disk_fingerprint db, stats.Recovery.redone_ops)
+  in
+  (* Force true cross-domain execution even on a 1-core host (the default
+     cap would fold the partitions onto the calling domain there). *)
+  Recovery.set_redo_fanout (Some 4);
+  Fun.protect
+    ~finally:(fun () -> Recovery.set_redo_fanout None)
+    (fun () ->
+      let rows1, fp1, redone1 = run 1 in
+      List.iter
+        (fun domains ->
+          let rowsn, fpn, redonen = run domains in
+          check (Printf.sprintf "%d-domain rows equal sequential" domains) true (rowsn = rows1);
+          check
+            (Printf.sprintf "%d-domain disk pages equal sequential" domains)
+            true (fpn = fp1);
+          check_int
+            (Printf.sprintf "%d-domain redone_ops equal sequential" domains)
+            redone1 redonen)
+        [ 2; 4 ];
+      (* And under the default core-count cap (partitions folded or not,
+         the result must be the same). *)
+      Recovery.set_redo_fanout None;
+      let rows4, fp4, redone4 = run 4 in
+      check "capped 4-domain rows equal sequential" true (rows4 = rows1);
+      check "capped 4-domain disk pages equal sequential" true (fp4 = fp1);
+      check_int "capped 4-domain redone_ops equal sequential" redone1 redone4)
+
+let test_parallel_partitions_counted () =
+  let db = mk_db () in
+  seed db 80;
+  churn db 4;
+  let before = Metrics.counter_value Probes.recovery_redo_partitions in
+  let db = Database.crash_and_reopen ~redo_domains:4 db in
+  check "redo partitions recorded" true
+    (Metrics.counter_value Probes.recovery_redo_partitions > before);
+  check_int "eighty rows" 80 (List.length (rows db))
+
+let test_instant_fault_campaign () =
+  let fault_rows =
+    Experiments.crash_repair_campaign ~instant:true ~seeds:[ 11 ] ~crash_points:3 ~quick:true ()
+  in
+  check "campaign produced rows" true (fault_rows <> []);
+  List.iter
+    (fun r ->
+      check
+        (Printf.sprintf "instant crash-repair ok (seed %d, crash_after %d)" r.Experiments.fr_seed
+           r.Experiments.fr_crash_after)
+        true (Experiments.fault_row_ok r))
+    fault_rows
+
+let () =
+  Alcotest.run "instant"
+    [
+      ( "instant-restart",
+        [
+          Alcotest.test_case "open after analysis, query during backlog" `Quick
+            test_instant_basics;
+          Alcotest.test_case "on-demand counter semantics" `Quick test_on_demand_counter;
+          Alcotest.test_case "agrees with full-replay twin" `Quick test_matches_full_replay_twin;
+          Alcotest.test_case "re-crash mid-backlog recovers cleanly" `Quick
+            test_recrash_mid_backlog;
+          Alcotest.test_case "session-manager sweeper drains backlog" `Quick
+            test_sweeper_drains_backlog;
+          Alcotest.test_case "checkpoint drains backlog first" `Quick
+            test_checkpoint_drains_backlog;
+        ] );
+      ( "parallel-redo",
+        [
+          Alcotest.test_case "2/4 domains byte-equal to sequential" `Quick
+            test_parallel_redo_equals_sequential;
+          Alcotest.test_case "partition counter recorded" `Quick test_parallel_partitions_counted;
+        ] );
+      ( "fault-campaign",
+        [ Alcotest.test_case "instant crash-repair campaign" `Slow test_instant_fault_campaign ] );
+    ]

@@ -58,6 +58,7 @@ base_prepare=$(bench_value "core-primitives/prepare_page_as_of (400-op rewind)" 
 base_prepare_cold=$(bench_value "core-primitives/prepare_page_as_of (cold segment)" || true)
 base_commit=$(bench_value "core-primitives/group commit (8 txns/flush)" || true)
 base_shared=$(bench_value "core-primitives/prepare_page_as_of (shared-cache hit)" || true)
+base_analysis=$(bench_value "core-primitives/recovery-analysis-only" || true)
 
 dune exec bench/main.exe -- all --quick --json >/dev/null
 test -s BENCH_micro.json
@@ -89,6 +90,9 @@ check_regression "core-primitives/prepare_page_as_of (400-op rewind)" "$base_pre
 check_regression "core-primitives/prepare_page_as_of (cold segment)" "$base_prepare_cold"
 check_regression "core-primitives/group commit (8 txns/flush)" "$base_commit"
 check_regression "core-primitives/prepare_page_as_of (shared-cache hit)" "$base_shared"
+# Instant restart's time-to-first-query is O(analysis): guard the analysis
+# pass so the pre-open work cannot silently grow back toward full replay.
+check_regression "core-primitives/recovery-analysis-only" "$base_analysis"
 
 echo "== fault-injection soak (fixed seeds, random crash points) =="
 # TPC-C under torn writes / bit rot / transient errors / torn log tails,
