@@ -414,6 +414,80 @@ module Micro = struct
            restore ();
            ignore (Rw_recovery.Recovery.recover ~redo_domains:domains ~log ~pool ())))
 
+  (* Replica catch-up apply rate: the continuous redo a log-shipping
+     replica runs on every ingested shipment.  The env bootstraps a
+     replica from the primary's checkpoint (save/load), writes more
+     history on the primary, and ships it into the replica's log WITHOUT
+     applying; each run resets the replica's pages to the bootstrap
+     images and replays the whole shipped backlog with partition-parallel
+     redo — the apply path of [Rw_repl.Replica.ingest] at a fixed
+     operating point. *)
+  let replica_env =
+    lazy
+      (let module Database = Rw_engine.Database in
+       let module Row = Rw_engine.Row in
+       let module Schema = Rw_catalog.Schema in
+       let clock = Sim_clock.create () in
+       let db =
+         Database.create ~name:"bench_repl_prim" ~clock ~media:Media.ram ~pool_capacity:48
+           ~checkpoint_interval_us:1e15 ()
+       in
+       let cols =
+         [
+           { Schema.name = "id"; ctype = Schema.Int }; { Schema.name = "val"; ctype = Schema.Text };
+         ]
+       in
+       let payload r i = Printf.sprintf "%04d-%06d-%s" r i (String.make 110 'x') in
+       Database.with_txn db (fun txn ->
+           ignore (Database.create_table db txn ~table:"t" ~columns:cols ());
+           for i = 1 to 1600 do
+             Database.insert db txn ~table:"t" [ Row.Int (Int64.of_int i); Row.Text (payload 0 i) ]
+           done);
+       ignore (Database.checkpoint db);
+       let path = Filename.temp_file "bench_replica" ".db" in
+       Database.save db ~path;
+       let rdb = Database.load ~clock ~media:Media.ram ~path () in
+       Sys.remove path;
+       for r = 1 to 4 do
+         Database.with_txn db (fun txn ->
+             for j = 0 to 1599 do
+               let i = (j * 37 mod 1600) + 1 in
+               Database.update db txn ~table:"t" [ Row.Int (Int64.of_int i); Row.Text (payload r i) ]
+             done)
+       done;
+       Log_manager.flush_all (Database.log db);
+       let rlog = Database.log rdb in
+       let from = Log_manager.end_lsn rlog in
+       let rec pump lsn =
+         match Log_manager.export_from (Database.log db) ~from:lsn with
+         | None -> ()
+         | Some ex ->
+             ignore (Log_manager.ingest_entries rlog ex.Log_manager.ex_entries);
+             pump ex.Log_manager.ex_next
+       in
+       pump from;
+       let rdisk = Database.disk rdb in
+       let rpool = Database.pool rdb in
+       Buffer_pool.flush_all rpool;
+       let baseline = ref [] in
+       for i = 0 to Disk.page_count rdisk - 1 do
+         let pid = Page_id.of_int i in
+         if Disk.has_page rdisk pid then
+           baseline := (pid, Page.copy (Disk.read_page_nocost rdisk pid)) :: !baseline
+       done;
+       let restore () =
+         Buffer_pool.drop_all rpool;
+         List.iter (fun (pid, p) -> Disk.write_page_nocost rdisk pid (Page.copy p)) !baseline
+       in
+       (rlog, rpool, from, Log_manager.end_lsn rlog, restore))
+
+  let test_replica_catchup =
+    Test.make ~name:"replica-catchup-apply (parallel redo)"
+      (Staged.stage (fun () ->
+           let log, pool, from, upto, restore = Lazy.force replica_env in
+           restore ();
+           ignore (Rw_recovery.Recovery.redo_range ~domains:4 ~log ~pool ~from ~upto ())))
+
   let tests =
     Test.make_grouped ~name:"core-primitives"
       [
@@ -433,6 +507,7 @@ module Micro = struct
         test_recovery_analysis;
         test_recovery_full ~domains:1;
         test_recovery_full ~domains:4;
+        test_replica_catchup;
         test_group_commit ~batch:1;
         test_group_commit ~batch:8;
         test_group_commit ~batch:64;

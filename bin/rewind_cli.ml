@@ -25,6 +25,53 @@ let media_of_string = function
 
 let print_result r = Format.printf "%a@." Executor.pp_result r
 
+(* Live replication state for the shell's \repl meta-command: at most one
+   replica per attached database, keyed by primary name. *)
+let replicas : (string, Rw_repl.Replica.t * Rw_repl.Shipper.t) Hashtbl.t = Hashtbl.create 4
+
+let repl_command eng db name args =
+  let module Shipper = Rw_repl.Shipper in
+  let module Replica = Rw_repl.Replica in
+  let status (r, sh) =
+    let state =
+      match Shipper.state sh with
+      | Shipper.Caught_up -> "caught-up"
+      | Shipper.Lagging -> "lagging"
+      | Shipper.Disconnected -> "disconnected"
+    in
+    Printf.printf
+      "replica of %-12s %s | lag %d segment(s) | shipped %d unit(s), %d KiB | retries %d | \
+       replica lsn %d, applied through %.6f s\n\
+       %!"
+      name state (Shipper.lag_segments sh) (Shipper.shipped_segments sh)
+      (Shipper.shipped_bytes sh / 1024)
+      (Shipper.retries sh)
+      (Rw_storage.Lsn.to_int (Replica.next_lsn r))
+      (Replica.applied_wall_us r /. 1_000_000.0)
+  in
+  match (args, Hashtbl.find_opt replicas name) with
+  | [ "attach" ], Some _ -> Printf.printf "%s already has a replica (\\repl detach first)\n%!" name
+  | [ "attach" ], None ->
+      let r = Replica.of_primary ~name:(name ^ "_replica") db in
+      let channel = Rw_repl.Channel.create ~clock:(Engine.clock eng) () in
+      let sh = Shipper.attach ~primary:db ~replica:r ~channel () in
+      Hashtbl.replace replicas name (r, sh);
+      Printf.printf
+        "attached replica of %s (retention now floors at its ship horizon); \\repl ship to pump\n\
+         %!"
+        name
+  | [ "ship" ], Some (r, sh) ->
+      Shipper.catch_up sh;
+      status (r, sh)
+  | [ "status" ], Some p -> status p
+  | [ "detach" ], Some (_, sh) ->
+      Shipper.detach sh;
+      Hashtbl.remove replicas name;
+      Printf.printf "detached (ship-horizon retention floor released)\n%!"
+  | ([ "ship" ] | [ "status" ] | [ "detach" ]), None ->
+      Printf.printf "no replica attached to %s (\\repl attach)\n%!" name
+  | _ -> Printf.printf "usage: \\repl attach|ship|status|detach\n%!"
+
 let run_statement session stmt =
   match Executor.run session stmt with
   | r -> print_result r
@@ -261,6 +308,22 @@ let meta_command session eng line =
       | [] -> Format.printf "%a%!" (fun fmt () -> Metrics.pp fmt ()) ()
       | _ -> Printf.printf "usage: \\metrics [json]\n%!");
       `Continue
+  | "\\repl" :: args -> (
+      match Executor.current_database session with
+      | None ->
+          Printf.printf "no database selected (USE <db>)\n%!";
+          `Continue
+      | Some name -> (
+          match Engine.find_database eng name with
+          | Some db ->
+              (if Rw_engine.Database.snapshot_handle db <> None then
+                 Printf.printf "%s is a read-only snapshot; replicate its primary instead\n%!"
+                   name
+               else repl_command eng db name args);
+              `Continue
+          | None ->
+              Printf.printf "current database vanished\n%!";
+              `Continue))
   | "\\explain" :: rest when rest <> [] ->
       run_statement session ("EXPLAIN " ^ String.concat " " rest);
       `Continue
@@ -281,6 +344,8 @@ let meta_command session eng line =
         \  \\trace on|off|status|clear|dump <path>\n\
         \                     trace collector; dump writes Chrome trace_event JSON\n\
         \  \\explain SELECT .. run a query and report its rewind cost\n\
+        \  \\repl attach|ship|status|detach\n\
+        \                     log-shipping replica of the current database\n\
         \  \\q                 quit\n\
          statements: CREATE/DROP TABLE|INDEX|DATABASE, INSERT, SELECT, UPDATE, DELETE,\n\
         \  BEGIN/COMMIT/ROLLBACK, USE, SHOW TABLES|DATABASES|HISTORY, CHECKPOINT,\n\
@@ -388,6 +453,17 @@ let faultsoak seeds crash_points quick =
   Rw_workload.Experiments.print_fault_rows rows;
   if not (List.for_all Rw_workload.Experiments.fault_row_ok rows) then exit 1
 
+let replsoak seeds quick =
+  Printf.printf "replication soak: scenarios %s | seeds %s%s\n%!"
+    (String.concat ","
+       (List.map Rw_workload.Experiments.repl_scenario_name
+          Rw_workload.Experiments.repl_scenarios))
+    (String.concat "," (List.map string_of_int seeds))
+    (if quick then " (quick)" else "");
+  let rows = Rw_workload.Experiments.repl_soak_campaign ~seeds ~quick () in
+  Rw_workload.Experiments.print_repl_rows rows;
+  if not (List.for_all Rw_workload.Experiments.repl_row_ok rows) then exit 1
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -446,10 +522,26 @@ let faultsoak_cmd =
           recover, repair, and verify against a fault-free oracle (exit 1 on any violation)")
     Term.(const faultsoak $ seeds $ points $ quick)
 
+let replsoak_cmd =
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) [ 11; 23; 47 ]
+      & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Comma-separated workload/channel seeds.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Shrink the workload for smoke runs.") in
+  Cmd.v
+    (Cmd.info "replsoak"
+       ~doc:
+         "Replication soak: replica crash mid-catch-up, sustained lag, network partition and \
+          primary failover, each converging byte-equal (canonical page form) to a fault-free \
+          single-node oracle (exit 1 on any divergence)")
+    Term.(const replsoak $ seeds $ quick)
+
 let main =
   Cmd.group ~default:Term.(const repl $ media_term)
     (Cmd.info "rewind_cli" ~version:"1.0.0"
        ~doc:"Transaction-log based point-in-time query engine (VLDB'12 reproduction)")
-    [ repl_cmd; exec_cmd; demo_cmd; faultsoak_cmd ]
+    [ repl_cmd; exec_cmd; demo_cmd; faultsoak_cmd; replsoak_cmd ]
 
 let () = exit (Cmd.eval main)

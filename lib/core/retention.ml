@@ -2,11 +2,30 @@ module Lsn = Rw_storage.Lsn
 module Log_record = Rw_wal.Log_record
 module Log_manager = Rw_wal.Log_manager
 
-type t = { mutable retention_us : float option }
+type t = {
+  mutable retention_us : float option;
+  mutable floors : (string * (unit -> Lsn.t option)) list;
+      (* Named truncation floors (e.g. one per attached replica): the cut
+         never rises above any floor, so sealed segments a live replica
+         has not yet shipped survive aggressive retention. *)
+}
 
-let create ?retention_us () = { retention_us }
+let create ?retention_us () = { retention_us; floors = [] }
 let set_interval t v = t.retention_us <- v
 let interval t = t.retention_us
+
+let register_floor t ~name f =
+  t.floors <- (name, f) :: List.remove_assoc name t.floors
+
+let unregister_floor t ~name = t.floors <- List.remove_assoc name t.floors
+
+let floor_lsn t =
+  List.fold_left
+    (fun acc (_, f) ->
+      match f () with
+      | None -> acc
+      | Some l -> ( match acc with None -> Some l | Some a -> Some (Lsn.min a l)))
+    None t.floors
 
 let checkpoint_wall log lsn =
   match (Log_manager.read_nocost log lsn).Log_record.body with
@@ -27,7 +46,11 @@ let cutoff t ~log ~now_us =
         | _ :: rest -> go rest
         | [] -> None
       in
-      go (Log_manager.checkpoints_before log (Log_manager.end_lsn log))
+      let cut = go (Log_manager.checkpoints_before log (Log_manager.end_lsn log)) in
+      match (cut, floor_lsn t) with
+      | Some c, Some f -> Some (Lsn.min c f)
+      | other, None -> other
+      | None, Some _ -> None
 
 let enforce t ~log ~now_us =
   match cutoff t ~log ~now_us with

@@ -58,6 +58,8 @@ let name t = t.name
 let clock t = t.clock
 let now_us t = Sim_clock.now_us t.clock
 let disk t = t.disk
+let media t = t.media
+let log_media t = t.log_media
 let log t = t.log
 let pool t = t.pool
 let ctx t = t.ctx
@@ -675,3 +677,35 @@ let crash_and_reopen ?(instant = false) ?redo_domains t =
     ignore (checkpoint fresh);
     fresh
   end
+
+(* --- replication support --- *)
+
+let add_retention_floor t ~name f = Retention.register_floor t.retention ~name f
+let remove_retention_floor t ~name = Retention.unregister_floor t.retention ~name
+
+let reopen_redo_only ?redo_domains t =
+  let redo_domains = Option.value redo_domains ~default:t.redo_domains in
+  Buffer_pool.drop_all t.pool;
+  ignore (Disk.apply_crash t.disk);
+  Log_manager.crash t.log;
+  let now_us_clock () = Sim_clock.now_us t.clock in
+  let fresh =
+    assemble ~name:t.name ~clock:t.clock ~media:t.media ~log_media:t.log_media ~disk:t.disk
+      ~log:t.log ~pool_capacity:t.pool_capacity
+      ~fpi_frequency:(Access_ctx.fpi_frequency t.ctx)
+      ~checkpoint_interval_us:t.checkpoint_interval_us ~read_only:false ~snapshot:None
+      ~instant:None ~redo_domains ~pool_opt:None ()
+  in
+  let stats =
+    Recovery.recover_redo_only ~redo_domains ~now_us:now_us_clock ~log:fresh.log
+      ~pool:fresh.pool ()
+  in
+  Txn_manager.set_next_id fresh.txns
+    (Rw_wal.Txn_id.next stats.Recovery.analysis.Recovery.max_txn_id);
+  fresh.recovery_stats <- Some stats;
+  fresh.alloc <- Alloc_map.open_ fresh.ctx;
+  (* No checkpoint taken and nothing appended: the log stays a
+     byte-identical prefix of the primary's stream, and the master record
+     stays wherever the replica last advanced it — the caller resumes
+     catch-up from there. *)
+  fresh

@@ -45,6 +45,8 @@ val name : t -> string
 val clock : t -> Rw_storage.Sim_clock.t
 val now_us : t -> float
 val disk : t -> Rw_storage.Disk.t
+val media : t -> Rw_storage.Media.t
+val log_media : t -> Rw_storage.Media.t
 val log : t -> Rw_wal.Log_manager.t
 val pool : t -> Rw_buffer.Buffer_pool.t
 val ctx : t -> Rw_access.Access_ctx.t
@@ -129,6 +131,14 @@ val set_retention : t -> float option -> unit
 val retention : t -> float option
 val enforce_retention : t -> Rw_storage.Lsn.t option
 
+val add_retention_floor : t -> name:string -> (unit -> Rw_storage.Lsn.t option) -> unit
+(** Install a named truncation floor: retention never reclaims log at or
+    above any floor's LSN (see {!Rw_core.Retention.register_floor}).  The
+    replication shipper registers each attached replica's ship horizon so
+    aggressive retention cannot strand a lagging replica. *)
+
+val remove_retention_floor : t -> name:string -> unit
+
 (* The paper's core: as-of snapshots *)
 val create_as_of_snapshot : ?shared:bool -> t -> name:string -> wall_us:float -> t
 (** A read-only view of this database as of [wall_us].  Raises
@@ -193,6 +203,15 @@ val crash_and_reopen : ?instant:bool -> ?redo_domains:int -> t -> t
     DESIGN.md §12).  [redo_domains] overrides the database's default fan-out
     for the (non-instant) redo pass; 1 reproduces the sequential pass
     byte-for-byte. *)
+
+val reopen_redo_only : ?redo_domains:int -> t -> t
+(** Replica restart: like {!crash_and_reopen} but recovery is
+    {!Rw_recovery.Recovery.recover_redo_only} — analysis resumes from the
+    persisted master record (the replica's recovery checkpoint), redo
+    replays forward, and {e nothing} is appended (no CLRs, no End records,
+    no checkpoint), so the log remains a byte-identical prefix of the
+    primary's stream and catch-up can resume at the old end of log.  The
+    old handle must not be used afterwards. *)
 
 val last_recovery_stats : t -> Rw_recovery.Recovery.stats option
 

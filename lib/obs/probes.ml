@@ -121,3 +121,23 @@ let sessions_live =
   gauge ~unit_:"sessions"
     ~help:"Writer and as-of reader sessions currently open in session managers"
     "sessions.live"
+
+(* Replication *)
+
+let repl_segments_shipped =
+  counter ~unit_:"segments" ~help:"Log shipments delivered to replicas (segment-granular units)"
+    "repl.segments_shipped"
+
+let repl_bytes_shipped =
+  counter ~unit_:"bytes" ~help:"Encoded log bytes delivered to replicas" "repl.bytes_shipped"
+
+let repl_lag_segments =
+  gauge ~unit_:"segments" ~help:"Segments the most-lagging attached replica has not yet applied"
+    "repl.lag_segments"
+
+let repl_retries =
+  counter ~unit_:"sends" ~help:"Shipping sends retried after a channel drop or partition"
+    "repl.retries"
+
+let repl_failovers =
+  counter ~unit_:"failovers" ~help:"Replica promotions after a primary failure" "repl.failovers"

@@ -61,3 +61,11 @@ val snapshot_shared_misses : Metrics.counter
 (** {1 Sessions} *)
 
 val sessions_live : Metrics.gauge
+
+(** {1 Replication} *)
+
+val repl_segments_shipped : Metrics.counter
+val repl_bytes_shipped : Metrics.counter
+val repl_lag_segments : Metrics.gauge
+val repl_retries : Metrics.counter
+val repl_failovers : Metrics.counter

@@ -499,6 +499,72 @@ let recover ?(redo_domains = 1) ?(now_us = fun () -> 0.0) ~log ~pool () =
     time_to_full_recovery_us = total;
   }
 
+(* --- replica-side redo: continuous catch-up and redo-only restart --- *)
+
+let redo_range ?(domains = 1) ~log ~pool ~from ~upto () =
+  if Lsn.(from >= upto) then 0
+  else begin
+    (* One peek scan builds a synthetic dirty-page table — every page
+       mentioned in [from, upto), keyed to its first record LSN — then the
+       standard redo machinery (sequential or partition-parallel) replays
+       the range.  Redo stays idempotent via the page-LSN compare, so a
+       duplicate shipment or an overlapping range applies nothing twice. *)
+    let dirty_pages = Hashtbl.create 64 in
+    let scanned = ref 0 in
+    Log_manager.iter_range_peek log ~from ~upto (fun lsn pk _decode ->
+        incr scanned;
+        if Log_record.is_page_kind pk.Log_record.p_kind then begin
+          let k = Page_id.to_int pk.Log_record.p_page in
+          if not (Hashtbl.mem dirty_pages k) then Hashtbl.replace dirty_pages k lsn
+        end);
+    let analysis =
+      {
+        losers = Hashtbl.create 1;
+        dirty_pages;
+        txn_pages = Hashtbl.create 1;
+        redo_start = from;
+        max_txn_id = Txn_id.nil;
+        records_scanned = !scanned;
+      }
+    in
+    if domains > 1 then redo_parallel ~log ~pool ~analysis ~upto ~domains
+    else redo_pass ~log ~pool ~analysis ~upto
+  end
+
+let recover_redo_only ?(redo_domains = 1) ?(now_us = fun () -> 0.0) ~log ~pool () =
+  let t0 = now_us () in
+  let tail_truncated = Log_manager.repair_tail log in
+  let start =
+    let c = Log_manager.last_checkpoint log in
+    if Lsn.is_nil c then Log_manager.first_lsn log else c
+  in
+  let upto = Log_manager.end_lsn log in
+  let analysis = analyze ~log ~start ~upto in
+  let analysis_us = now_us () -. t0 in
+  let redone_ops =
+    if redo_domains > 1 then redo_parallel ~log ~pool ~analysis ~upto ~domains:redo_domains
+    else redo_pass ~log ~pool ~analysis ~upto
+  in
+  (* No undo and no appended records: a replica's log must stay a
+     byte-identical prefix of the primary's stream, so losers are left
+     in place on the pages (reads go through as-of snapshots, which
+     perform snapshot-local loser undo without logging) and the
+     catch-up stream itself will deliver their Aborts or CLRs. *)
+  Log_manager.flush_all log;
+  Obs.incr Probes.recovery_runs;
+  Obs.add Probes.recovery_redone redone_ops;
+  let total = now_us () -. t0 in
+  {
+    analysis;
+    redone_ops;
+    undone_ops = 0;
+    ended_losers = 0;
+    tail_truncated;
+    analysis_us;
+    time_to_first_query_us = total;
+    time_to_full_recovery_us = total;
+  }
+
 (* --- instant restart: open after analysis, recover pages on first touch --- *)
 
 module Instant = struct

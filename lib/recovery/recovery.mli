@@ -93,6 +93,37 @@ val recover :
     result — is not affected by the cap.  [now_us] (normally the simulated
     clock) stamps the timing fields of {!stats}. *)
 
+val redo_range :
+  ?domains:int ->
+  log:Rw_wal.Log_manager.t ->
+  pool:Rw_buffer.Buffer_pool.t ->
+  from:Rw_storage.Lsn.t ->
+  upto:Rw_storage.Lsn.t ->
+  unit ->
+  int
+(** Replay exactly the records with [from <= lsn < upto] onto the pool —
+    the replica catch-up step.  A single peek scan builds the range's
+    dirty-page table (first record LSN per page), then the standard redo
+    machinery applies it ([domains] > 1 = the same partition-parallel path
+    as {!recover}).  Idempotent via the page-LSN compare, so duplicate or
+    overlapping shipments are harmless.  Returns operations applied. *)
+
+val recover_redo_only :
+  ?redo_domains:int ->
+  ?now_us:(unit -> float) ->
+  log:Rw_wal.Log_manager.t ->
+  pool:Rw_buffer.Buffer_pool.t ->
+  unit ->
+  stats
+(** Replica restart: tail repair, analysis from the master record (the
+    replica's persisted recovery checkpoint), and redo — but {e no} loser
+    undo and {e no} appended records (no CLRs, no End records, no
+    checkpoint), because a replica's log must remain a byte-identical
+    prefix of the primary's stream.  In-flight transactions' effects stay
+    on the pages; reads go through as-of snapshots (snapshot-local loser
+    undo) and the resumed catch-up stream delivers their outcomes.
+    [stats.undone_ops]/[ended_losers] are always 0. *)
+
 val set_redo_fanout : int option -> unit
 (** Override the concurrent-worker cap used by parallel redo: [Some n]
     runs at most [n] domains (including the caller), [None] (the default)

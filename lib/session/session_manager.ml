@@ -39,11 +39,16 @@ type t = {
   clock : Sim_clock.t;
   mutable sessions : session list; (* in open order *)
   mutable opened : int; (* lifetime counter, for unique snapshot names *)
+  mutable service : (unit -> unit) option;
+      (* background duty run once per round, after every session stepped —
+         e.g. a log shipper pumping an attached replica *)
 }
 
 let create db =
   if Database.is_read_only db then invalid_arg "Session_manager.create: read-only database";
-  { db; clock = Database.clock db; sessions = []; opened = 0 }
+  { db; clock = Database.clock db; sessions = []; opened = 0; service = None }
+
+let set_service t f = t.service <- f
 
 let db t = t.db
 
@@ -119,5 +124,8 @@ let run t ~rounds =
        little of the recovery backlog so the engine reaches full
        consistency even on pages no session ever touches. *)
     if Database.recovery_backlog t.db > 0 then
-      ignore (Database.recovery_drain_step ~max_pages:sweep_pages_per_round t.db)
+      ignore (Database.recovery_drain_step ~max_pages:sweep_pages_per_round t.db);
+    (* Background service (e.g. a replication shipper): one pump per
+       round, so replica lag tracks foreground traffic deterministically. *)
+    match t.service with Some f -> f () | None -> ()
   done

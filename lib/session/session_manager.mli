@@ -45,6 +45,13 @@ val close : t -> session -> unit
 (** Remove the session from the rotation; a reader's snapshot is dropped
     (sparse side file released).  Idempotent. *)
 
+val set_service : t -> (unit -> unit) option -> unit
+(** Install (or clear) a background duty that {!run} invokes once per
+    round, after every live session has stepped — e.g. a replication
+    shipper pumping one catch-up unit ({!Rw_repl.Shipper.step}), so
+    replica lag tracks foreground traffic inside the same deterministic
+    schedule. *)
+
 val run : t -> rounds:int -> unit
 (** Round-robin interleave: [rounds] times, give every live session one
     step in open order.  Sessions opened by a step join the next round;

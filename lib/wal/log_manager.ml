@@ -1056,6 +1056,51 @@ let records_from t target =
       done;
       !n
 
+(* Drop every record with start LSN >= [ti] off the newest end of the
+   log: whole segments above the cut go wholesale (indexes freed per
+   segment), the straddler sheds records one by one.  Shared by
+   [repair_tail] (cut = first torn record) and [truncate_from] (cut =
+   replication divergence point).  Callers fix up [end_lsn]/
+   [flushed_lsn]/[last_checkpoint] afterwards. *)
+let drop_tail_records t ti =
+  let dropped = ref 0 in
+  while t.seg_hi > t.seg_lo && t.segs.(t.seg_hi - 1).s_base >= ti do
+    let s = t.segs.(t.seg_hi - 1) in
+    dropped := !dropped + (s.s_n - s.s_dead);
+    drop_segment t ~counted:false s;
+    t.segs.(t.seg_hi - 1) <- tombstone;
+    t.seg_hi <- t.seg_hi - 1
+  done;
+  while
+    t.seg_hi > t.seg_lo
+    &&
+    let s = t.segs.(t.seg_hi - 1) in
+    s.s_n > s.s_dead && s.s_lsns.(s.s_n - 1) >= ti
+  do
+    remove_last t;
+    incr dropped
+  done;
+  !dropped
+
+let truncate_from t lsn =
+  if Lsn.(lsn >= t.end_lsn) then 0
+  else begin
+    let dropped = drop_tail_records t (Lsn.to_int lsn) in
+    let phys_end =
+      if t.seg_hi > t.seg_lo then t.segs.(t.seg_hi - 1).s_end
+      else Lsn.to_int t.truncated_below
+    in
+    t.end_lsn <- Lsn.of_int phys_end;
+    if Lsn.(t.flushed_lsn > t.end_lsn) then t.flushed_lsn <- t.end_lsn;
+    t.unflushed_bytes <- 0;
+    if Lsn.(t.last_checkpoint >= t.end_lsn) then t.last_checkpoint <- newest_checkpoint t;
+    (* The dropped LSNs will be recycled by whoever appends next (the new
+       primary's stream, re-shipped) — derived rewound state is void. *)
+    t.invalidation_epoch <- t.invalidation_epoch + 1;
+    update_resident_gauge t;
+    dropped
+  end
+
 let crash t =
   (* A torn log tail: the OS may have pushed a prefix of the unflushed
      records to the platter before the crash, with the last of them torn
@@ -1135,30 +1180,101 @@ let repair_tail t =
   | None -> None
   | Some torn_i ->
       let torn_lsn = Lsn.of_int torn_i in
-      let dropped = ref 0 in
-      (* Newest segments living entirely above the tear are discarded
-         wholesale — indexes freed per segment, not per record. *)
-      while t.seg_hi > t.seg_lo && t.segs.(t.seg_hi - 1).s_base >= torn_i do
-        let s = t.segs.(t.seg_hi - 1) in
-        dropped := !dropped + (s.s_n - s.s_dead);
-        drop_segment t ~counted:false s;
-        t.segs.(t.seg_hi - 1) <- tombstone;
-        t.seg_hi <- t.seg_hi - 1
-      done;
-      (* The straddling segment sheds records one by one. *)
-      while
-        t.seg_hi > t.seg_lo
-        &&
-        let s = t.segs.(t.seg_hi - 1) in
-        s.s_n > s.s_dead && s.s_lsns.(s.s_n - 1) >= torn_i
-      do
-        remove_last t;
-        incr dropped
-      done;
+      let dropped = drop_tail_records t torn_i in
       t.end_lsn <- torn_lsn;
       if Lsn.(t.flushed_lsn > torn_lsn) then t.flushed_lsn <- torn_lsn;
       t.unflushed_bytes <- 0;
       if Lsn.(t.last_checkpoint >= torn_lsn) then t.last_checkpoint <- newest_checkpoint t;
       t.io.Io_stats.corruptions_detected <- t.io.Io_stats.corruptions_detected + 1;
       update_resident_gauge t;
-      Some (torn_lsn, !dropped)
+      Some (torn_lsn, dropped)
+
+(* ---------- replication export / ingest ---------- *)
+
+type export = {
+  ex_from : Lsn.t;
+  ex_next : Lsn.t;
+  ex_sealed : bool;
+  ex_entries : (Lsn.t * string) list;
+}
+
+let export_from t ~from =
+  if Lsn.(from < t.truncated_below) then raise (Log_truncated from);
+  if Lsn.(from >= t.flushed_lsn) then None
+  else
+    match global_lower t from with
+    | None -> None
+    | Some (si, i0) ->
+        let s = t.segs.(si) in
+        let fl = Lsn.to_int t.flushed_lsn in
+        (* The shipping unit is the rest of the segment holding [from]:
+           a whole sealed-segment suffix, or the durable prefix of the
+           active tail.  The crash-time tail (records at or above
+           [flushed_lsn]) never ships — replicas replay committed-only,
+           acknowledged history. *)
+        let stop = ref i0 in
+        while !stop < s.s_n && s.s_lsns.(!stop) < fl do
+          incr stop
+        done;
+        if !stop = i0 then None
+        else begin
+          let acc = ref [] in
+          let bytes = ref 0 in
+          for j = !stop - 1 downto i0 do
+            let data = rec_data s j in
+            bytes := !bytes + String.length data;
+            acc := (Lsn.of_int s.s_lsns.(j), data) :: !acc
+          done;
+          (* Shipping reads the log back: one sequential scan of the
+             exported region on the primary's log device. *)
+          charge_seq t !bytes;
+          let next =
+            if !stop < s.s_n then Lsn.of_int s.s_lsns.(!stop) else Lsn.of_int s.s_end
+          in
+          Some
+            {
+              ex_from = Lsn.of_int s.s_lsns.(i0);
+              ex_next = next;
+              ex_sealed = s.s_sealed && !stop = s.s_n;
+              ex_entries = !acc;
+            }
+        end
+
+let segments_behind t ~from =
+  (* Lag is measured against the durable horizon: the unflushed tail is
+     not shippable (it could still be lost to a crash), so a replica that
+     holds every flushed record is caught up even while the tail grows. *)
+  if Lsn.(from >= t.flushed_lsn) then 0
+  else match global_lower t from with None -> 0 | Some (si, _) -> t.seg_hi - si
+
+let ingest_entries t entries =
+  (match entries with
+  | (first, _) :: _ when t.nrecords = 0 && Lsn.to_int t.end_lsn <= Lsn.to_int first ->
+      (* First shipment into a fresh log: adopt the primary's origin,
+         exactly as [restore_entries] does for a persisted dump. *)
+      t.truncated_below <- first;
+      t.flushed_lsn <- first;
+      t.end_lsn <- first
+  | _ -> ());
+  let applied = ref 0 in
+  List.iter
+    (fun (lsn, data) ->
+      if Lsn.(lsn < t.end_lsn) then ()
+        (* duplicate shipment (channel retry/dup fault): idempotent skip *)
+      else begin
+        if not (Lsn.equal lsn t.end_lsn) then
+          invalid_arg "Log_manager.ingest_entries: gap in shipped records";
+        let seg = raw_append t data lsn in
+        t.unflushed_bytes <- t.unflushed_bytes + String.length data;
+        touch_cache_on_append t lsn (String.length data);
+        index_record t seg (Log_record.peek data) lsn;
+        incr applied;
+        if seg_used seg >= t.segment_bytes then seal_segment t seg
+      end)
+    entries;
+  (* The replica persists its log copy before applying it — shipped
+     records are durable on arrival, priced as one sequential write.
+     The master record is NOT advanced here: the replica controls its
+     recovery checkpoint explicitly (after flushing redone pages). *)
+  if !applied > 0 then flush t ~upto:t.end_lsn else update_resident_gauge t;
+  !applied

@@ -267,3 +267,59 @@ val restore_entries : t -> (Rw_storage.Lsn.t * string) list -> unit
 (** Rebuild a fresh log manager's state from {!dump_entries} output
     (indexes, FPI directory and checkpoint list included).  Every restored
     record is considered durable.  Raises on a non-empty log. *)
+
+(** {2 Replication}
+
+    Log shipping works in segment-granular units: {!export_from} on the
+    primary hands out the durable remainder of one segment at a time,
+    {!ingest_entries} appends a shipment onto a replica's (byte-identical
+    prefix) copy of the stream, and {!truncate_from} cuts a demoted
+    primary's divergent tail at the failover point so it can rejoin as a
+    replica. *)
+
+type export = {
+  ex_from : Rw_storage.Lsn.t;  (** LSN of the first shipped record *)
+  ex_next : Rw_storage.Lsn.t;
+      (** resume point: the LSN immediately after the last shipped record *)
+  ex_sealed : bool;
+      (** the shipment reaches the end of a sealed segment (a complete
+          replication unit); [false] means a durable prefix of the active
+          tail was shipped *)
+  ex_entries : (Rw_storage.Lsn.t * string) list;
+      (** encoded records, oldest first — {!dump_entries} form *)
+}
+
+val export_from : t -> from:Rw_storage.Lsn.t -> export option
+(** The next shipping unit at or after [from]: the durable records of the
+    segment containing [from] (whole sealed-segment suffix, or the durable
+    prefix of the active tail).  Records at or above {!flushed_lsn} — the
+    crash-time tail — never ship, so replicas replay acknowledged history
+    only.  [None] when nothing durable exists at or after [from].  Priced
+    as a sequential read of the exported bytes.  Raises {!Log_truncated}
+    when [from] has fallen below the retention boundary (the replica must
+    re-seed from a fresh snapshot). *)
+
+val segments_behind : t -> from:Rw_storage.Lsn.t -> int
+(** How many live segments hold records at or after [from] — the
+    replica-lag measure behind the [repl.lag_segments] gauge (0 = caught
+    up to the active tail). *)
+
+val ingest_entries : t -> (Rw_storage.Lsn.t * string) list -> int
+(** Append a shipment onto the end of this (replica) log.  Entries below
+    {!end_lsn} are skipped — duplicate delivery is idempotent — and the
+    first genuinely new entry must land exactly at {!end_lsn}
+    ([Invalid_argument] on a gap: shipments are applied in order).  Into a
+    completely fresh log, the first shipment establishes the origin as
+    {!restore_entries} would.  Ingested records are immediately durable
+    (priced as one sequential log write); the master record is {e not}
+    advanced — the replica moves its recovery checkpoint explicitly via
+    {!set_last_checkpoint} after flushing redone pages.  Returns the
+    number of records actually appended. *)
+
+val truncate_from : t -> Rw_storage.Lsn.t -> int
+(** Drop every record with start LSN at or above the argument — the
+    inverse of {!truncate_before}, used when a demoted primary rejoins:
+    its unshipped tail past the failover point is discarded before
+    committed-only replay of the new primary's stream.  Bumps
+    {!invalidation_epoch} (the cut LSNs will be recycled).  Returns the
+    number of records dropped. *)

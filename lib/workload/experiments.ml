@@ -27,6 +27,7 @@ type figure =
   | Sec6_4
   | E8
   | E9
+  | E10
   | Ablation
   | Faults
   | Explain
@@ -45,6 +46,7 @@ let all =
     Sec6_4;
     E8;
     E9;
+    E10;
     Ablation;
     Faults;
     Explain;
@@ -63,6 +65,7 @@ let name = function
   | Sec6_4 -> "sec6_4"
   | E8 -> "e8"
   | E9 -> "e9"
+  | E10 -> "e10"
   | Ablation -> "ablation"
   | Faults -> "faults"
   | Explain -> "explain"
@@ -839,6 +842,332 @@ let faults ~quick () =
     (100.0 *. default_fault_rates.torn_log_tail_rate);
   print_fault_rows (crash_repair_campaign ~quick ())
 
+(* --- E10: log-shipping replication soak --- *)
+
+module Channel = Rw_repl.Channel
+module Replica = Rw_repl.Replica
+module Shipper = Rw_repl.Shipper
+module Repl_failover = Rw_repl.Failover
+
+type repl_scenario = Crash_mid_catchup | Sustained_lag | Partition_heal | Failover_rejoin
+
+let repl_scenarios = [ Crash_mid_catchup; Sustained_lag; Partition_heal; Failover_rejoin ]
+
+let repl_scenario_name = function
+  | Crash_mid_catchup -> "crash"
+  | Sustained_lag -> "lag"
+  | Partition_heal -> "partition"
+  | Failover_rejoin -> "failover"
+
+type repl_row = {
+  rr_seed : int;
+  rr_scenario : repl_scenario;
+  rr_txns : int;
+  rr_shipped : int;
+  rr_retries : int;
+  rr_lag_max : int;
+  rr_stressed : bool;
+  rr_converged : bool;
+  rr_state_agrees : bool;
+  rr_pages_equal : bool;
+  rr_asof_agrees : bool;
+}
+
+let repl_row_ok r =
+  r.rr_stressed && r.rr_converged && r.rr_state_agrees && r.rr_pages_equal && r.rr_asof_agrees
+
+(* Canonical-page byte equality of two engines' current states: an as-of
+   view at each engine's own now, compared page-by-page in canonical form
+   over the union of pages either side materialised. *)
+let repl_pages_equal a b =
+  let open_now db tag =
+    Database.create_as_of_snapshot ~shared:false db ~name:(fresh_name tag)
+      ~wall_us:(Sim_clock_.now_us (Database.clock db))
+  in
+  let va = open_now a "rp_a" and vb = open_now b "rp_b" in
+  let sa = Option.get (Database.snapshot_handle va) in
+  let sb = Option.get (Database.snapshot_handle vb) in
+  let ids =
+    As_of_snapshot.materialized_page_ids sa @ As_of_snapshot.materialized_page_ids sb
+  in
+  let ok =
+    List.for_all
+      (fun pid ->
+        String.equal (As_of_snapshot.page_string sa pid) (As_of_snapshot.page_string sb pid))
+      ids
+  in
+  As_of_snapshot.drop sa;
+  As_of_snapshot.drop sb;
+  ok
+
+(* One scenario run against a fault-free single-node oracle driven by the
+   same seed.  The primary+replica pair runs the scenario; the oracle runs
+   the identical committed workload on one node.  Convergence is judged
+   three ways: row-for-row state, canonical page bytes, and a mid-history
+   as-of query at each engine's own recorded wall time. *)
+let repl_soak_run ?(quick = false) ~seed ~scenario () =
+  let txns = if quick then 48 else 120 in
+  let mk tag =
+    let eng = Engine.create ~media:Media.ram () in
+    let db =
+      Engine.create_database eng ~pool_capacity:1024 ~log_segment_bytes:16384 (fresh_name tag)
+    in
+    let cfg = { Tpcc.small_config with Tpcc.seed } in
+    Tpcc.load db cfg;
+    ignore (Database.checkpoint db);
+    (db, cfg, Tpcc.create db cfg)
+  in
+  let db, cfg, drv = mk "repl_prim" in
+  let odb, _ocfg, odrv = mk "repl_oracle" in
+  let walls_p = ref [] and walls_o = ref [] in
+  let run_txns db drv walls n =
+    let clock = Database.clock db in
+    for _ = 1 to n do
+      (* Idle gaps keep commit wall clocks distinct for as-of points. *)
+      Sim_clock_.advance_us clock 1000.0;
+      ignore (Tpcc.run_mix drv ~txns:1);
+      walls := Sim_clock_.now_us clock :: !walls
+    done
+  in
+  let replica = Replica.of_primary ~name:(fresh_name "replica") db in
+  let clock = Database.clock db in
+  let lag_max = ref 0 in
+  let observe sh = lag_max := max !lag_max (Shipper.lag_segments sh) in
+  (* Oracle commits the same transactions up front; its wall points are its
+     own (each engine's clock advances differently). *)
+  run_txns odb odrv walls_o txns;
+  let sh, stressed =
+    match scenario with
+    | Sustained_lag ->
+        (* Faulty link pumped only once per traffic batch: the replica lags
+           for the whole run and still converges at the end. *)
+        let chan =
+          Channel.create ~clock ~seed
+            ~rates:{ Channel.drop = 0.2; duplicate = 0.1; delay = 0.3; partition = 0.0 }
+            ()
+        in
+        let sh = Shipper.attach ~primary:db ~replica ~channel:chan ~max_retries:50 () in
+        let batches = 8 in
+        for _ = 1 to batches do
+          run_txns db drv walls_p (txns / batches);
+          ignore (Database.checkpoint db);
+          observe sh;
+          ignore (Shipper.step sh)
+        done;
+        run_txns db drv walls_p (txns mod batches);
+        ignore (Database.checkpoint db);
+        observe sh;
+        Shipper.catch_up sh;
+        (sh, !lag_max > 0 && Shipper.retries sh > 0)
+    | Crash_mid_catchup ->
+        let sh =
+          Shipper.attach ~primary:db ~replica ~channel:(Channel.create ~clock ~seed ()) ()
+        in
+        run_txns db drv walls_p txns;
+        ignore (Database.checkpoint db);
+        let lag0 = Shipper.lag_segments sh in
+        observe sh;
+        while Shipper.lag_segments sh > max 1 (lag0 / 2) do
+          ignore (Shipper.step sh)
+        done;
+        Replica.crash_and_reopen replica;
+        let redo_only =
+          match Database.last_recovery_stats (Replica.db replica) with
+          | Some s -> s.Rw_recovery.Recovery.undone_ops = 0
+          | None -> false
+        in
+        Shipper.catch_up sh;
+        (sh, redo_only)
+    | Partition_heal ->
+        let chan = Channel.create ~clock ~seed () in
+        let sh = Shipper.attach ~primary:db ~replica ~channel:chan ~max_retries:3 () in
+        run_txns db drv walls_p (txns / 2);
+        ignore (Database.checkpoint db);
+        Channel.partition chan ~sends:100_000;
+        Shipper.catch_up sh;
+        let disconnected = Shipper.state sh = Shipper.Disconnected in
+        run_txns db drv walls_p (txns - (txns / 2));
+        ignore (Database.checkpoint db);
+        observe sh;
+        Channel.heal chan;
+        Shipper.catch_up sh;
+        (sh, disconnected)
+    | Failover_rejoin ->
+        let sh =
+          Shipper.attach ~primary:db ~replica ~channel:(Channel.create ~clock ~seed ()) ()
+        in
+        run_txns db drv walls_p txns;
+        ignore (Database.checkpoint db);
+        Shipper.catch_up sh;
+        (sh, true)
+  in
+  match scenario with
+  | Failover_rejoin ->
+      (* The primary commits a tail that never ships, then dies.  The
+         promoted replica must serve exactly the shipped history; the
+         demoted primary rejoins by truncating its divergent tail. *)
+      let shipped = Shipper.shipped_segments sh and retries = Shipper.retries sh in
+      let tail = ref [] in
+      run_txns db drv tail 10;
+      Shipper.detach sh;
+      let new_primary, at = Repl_failover.promote replica in
+      let rejoined = Repl_failover.rejoin ~name:(fresh_name "rejoin") ~at db in
+      let sh2 =
+        Shipper.attach ~primary:new_primary ~replica:rejoined ~channel:(Channel.create ~clock ())
+          ()
+      in
+      Shipper.catch_up sh2;
+      let state_agrees =
+        table_dump new_primary = table_dump odb
+        && table_dump (Replica.db rejoined) = table_dump odb
+      in
+      let pages_equal =
+        repl_pages_equal new_primary odb
+        && repl_pages_equal (Replica.db rejoined) new_primary
+      in
+      let asof_agrees =
+        let wp = List.rev !walls_p and wo = List.rev !walls_o in
+        let mid = List.length wp / 2 in
+        let sp =
+          Database.create_as_of_snapshot ~shared:false new_primary ~name:(fresh_name "rs_p")
+            ~wall_us:(List.nth wp mid)
+        in
+        let so =
+          Database.create_as_of_snapshot ~shared:false odb ~name:(fresh_name "rs_o")
+            ~wall_us:(List.nth wo mid)
+        in
+        let sl v = Tpcc.stock_level v cfg ~w:1 ~d:1 ~threshold:15 in
+        table_dump sp = table_dump so && sl sp = sl so
+      in
+      Shipper.detach sh2;
+      {
+        rr_seed = seed;
+        rr_scenario = scenario;
+        rr_txns = txns;
+        rr_shipped = shipped + Shipper.shipped_segments sh2;
+        rr_retries = retries;
+        rr_lag_max = !lag_max;
+        rr_stressed = stressed;
+        rr_converged = Shipper.state sh2 = Shipper.Caught_up;
+        rr_state_agrees = state_agrees;
+        rr_pages_equal = pages_equal;
+        rr_asof_agrees = asof_agrees;
+      }
+  | _ ->
+      let rdb = Replica.db replica in
+      let state_agrees = table_dump rdb = table_dump odb in
+      let pages_equal = repl_pages_equal rdb odb in
+      let asof_agrees =
+        let wp = List.rev !walls_p and wo = List.rev !walls_o in
+        let mid = List.length wp / 2 in
+        let sp =
+          Database.create_as_of_snapshot ~shared:false rdb ~name:(fresh_name "rs_r")
+            ~wall_us:(List.nth wp mid)
+        in
+        let so =
+          Database.create_as_of_snapshot ~shared:false odb ~name:(fresh_name "rs_o")
+            ~wall_us:(List.nth wo mid)
+        in
+        let sl v = Tpcc.stock_level v cfg ~w:1 ~d:1 ~threshold:15 in
+        table_dump sp = table_dump so && sl sp = sl so
+      in
+      let row =
+        {
+          rr_seed = seed;
+          rr_scenario = scenario;
+          rr_txns = txns;
+          rr_shipped = Shipper.shipped_segments sh;
+          rr_retries = Shipper.retries sh;
+          rr_lag_max = !lag_max;
+          rr_stressed = stressed;
+          rr_converged = Shipper.state sh = Shipper.Caught_up;
+          rr_state_agrees = state_agrees;
+          rr_pages_equal = pages_equal;
+          rr_asof_agrees = asof_agrees;
+        }
+      in
+      Shipper.detach sh;
+      row
+
+let repl_soak_campaign ?(seeds = [ 11; 23; 47 ]) ?(quick = false) () =
+  List.concat_map
+    (fun seed ->
+      List.map (fun scenario -> repl_soak_run ~quick ~seed ~scenario ()) repl_scenarios)
+    seeds
+
+let print_repl_rows rows =
+  Printf.printf "%6s %-10s %6s %8s %8s %8s %8s %6s %6s %6s %5s %5s\n" "seed" "scenario" "txns"
+    "shipped" "retries" "lag_max" "stress" "conv" "state" "pages" "asof" "ok";
+  List.iter
+    (fun r ->
+      let b v = if v then "yes" else "NO" in
+      Printf.printf "%6d %-10s %6d %8d %8d %8d %8s %6s %6s %6s %5s %5s\n" r.rr_seed
+        (repl_scenario_name r.rr_scenario)
+        r.rr_txns r.rr_shipped r.rr_retries r.rr_lag_max (b r.rr_stressed) (b r.rr_converged)
+        (b r.rr_state_agrees) (b r.rr_pages_equal) (b r.rr_asof_agrees)
+        (if repl_row_ok r then "ok" else "FAIL"))
+    rows;
+  let ok = List.length (List.filter repl_row_ok rows) in
+  Printf.printf "%d/%d replication runs passed\n%!" ok (List.length rows)
+
+(* The headline demo: a writer fleet on the primary with the shipper
+   installed as the scheduler's background service — replica lag rises
+   under bursts and drains between them, all on one deterministic clock. *)
+let e10 ~quick () =
+  header "E10: log-shipping replication — catch-up redo, faults, failover";
+  let eng = Engine.create ~media:Media.ram () in
+  let db = Engine.create_database eng ~pool_capacity:1024 ~log_segment_bytes:16384 "e10" in
+  let cfg = { Tpcc.small_config with Tpcc.seed = 7 } in
+  Tpcc.load db cfg;
+  ignore (Database.checkpoint db);
+  let drv = Tpcc.create db cfg in
+  let replica = Replica.of_primary ~name:"e10_replica" db in
+  let chan =
+    Channel.create ~clock:(Database.clock db) ~seed:7
+      ~rates:{ Channel.drop = 0.1; duplicate = 0.05; delay = 0.2; partition = 0.0 }
+      ()
+  in
+  let sh = Shipper.attach ~primary:db ~replica ~channel:chan ~max_retries:50 () in
+  let mgr = Session_manager.create db in
+  for i = 1 to 3 do
+    ignore
+      (Session_manager.open_writer mgr
+         ~name:(Printf.sprintf "writer%d" i)
+         ~step:(fun d ->
+           Sim_clock_.advance_us (Database.clock d) 500.0;
+           ignore (Tpcc.run_mix drv ~txns:1)))
+  done;
+  Session_manager.set_service mgr (Some (fun () -> ignore (Shipper.step sh)));
+  let rounds = if quick then 24 else 60 in
+  Printf.printf "%8s %10s %12s %10s\n" "round" "lag_segs" "shipped" "retries";
+  for r = 1 to rounds do
+    Session_manager.run mgr ~rounds:1;
+    if r mod 4 = 0 then ignore (Database.checkpoint db);
+    if r mod (rounds / 6) = 0 then
+      Printf.printf "%8d %10d %12d %10d\n" r (Shipper.lag_segments sh)
+        (Shipper.shipped_segments sh) (Shipper.retries sh)
+  done;
+  ignore (Database.checkpoint db);
+  Shipper.catch_up sh;
+  (* Read the drained numbers before the byte-equality check: creating
+     the comparison snapshots appends (and flushes) a checkpoint on the
+     primary, which would show up as fresh lag. *)
+  let lag = Shipper.lag_segments sh and shipped = Shipper.shipped_segments sh in
+  let retries = Shipper.retries sh in
+  let live_ok =
+    Shipper.state sh = Shipper.Caught_up && repl_pages_equal db (Replica.db replica)
+  in
+  Printf.printf "after drain: lag %d, shipped %d, retries %d, replica byte-equal: %s\n" lag
+    shipped retries
+    (if live_ok then "yes" else "NO");
+  Shipper.detach sh;
+  Printf.printf "\nFault campaign (each scenario vs a fault-free single-node oracle):\n";
+  let rows = repl_soak_campaign ~seeds:(if quick then [ 11; 23 ] else [ 11; 23; 47 ]) ~quick () in
+  print_repl_rows rows;
+  let ok = live_ok && List.for_all repl_row_ok rows in
+  Printf.printf "e10 self-checks: %s\n%!" (if ok then "PASS" else "FAIL");
+  if not ok then exit 1
+
 (* --- EXPLAIN cost table: the paper's proportional-cost claim, per query --- *)
 
 (* One stock-level query against snapshots increasingly far back in time.
@@ -1056,6 +1385,7 @@ let run ?(quick = false) = function
   | Sec6_4 -> sec6_4 ~quick ()
   | E8 -> e8 ~quick ()
   | E9 -> e9_instant ~quick ()
+  | E10 -> e10 ~quick ()
   | Ablation ->
       ablation ~quick ();
       ablation_cow ~quick ()

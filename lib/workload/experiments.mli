@@ -32,6 +32,13 @@ type figure =
           restart with first-touch recovery; self-checks queries issued
           during the backlog (and the drained end state) against the fully
           recovered twin — exits non-zero on mismatch *)
+  | E10
+      (** log-shipping replication: a writer fleet with the shipper as the
+          scheduler's background service (lag rises and drains on one
+          deterministic clock), then the replica fault campaign — crash
+          mid-catch-up, sustained lag, network partition, failover+rejoin —
+          each converging byte-equal (canonical page form) to a fault-free
+          single-node oracle; exits non-zero on divergence *)
   | Ablation
       (** design-choice ablations: FPI frequency, log cache size, page- vs
           transaction-oriented undo, and proactive copy-on-write snapshots
@@ -115,3 +122,51 @@ val crash_repair_campaign :
     each seed (defaults: 3 seeds x 4 points). *)
 
 val print_fault_rows : fault_row list -> unit
+
+(** {2 Replication fault campaign}
+
+    The scenario harness behind {!figure.E10}, exposed so tests and the
+    CLI [replsoak] command can assert on the rows. *)
+
+type repl_scenario =
+  | Crash_mid_catchup
+      (** replica killed mid-catch-up; resumes from its persisted recovery
+          checkpoint, redo-only *)
+  | Sustained_lag
+      (** faulty link pumped once per traffic batch: the replica stays
+          behind all run and still converges *)
+  | Partition_heal  (** partition exhausts retries to [Disconnected]; heal reconnects *)
+  | Failover_rejoin
+      (** primary dies with an unshipped tail; the replica is promoted and
+          the demoted primary rejoins by truncating its divergent tail *)
+
+val repl_scenarios : repl_scenario list
+val repl_scenario_name : repl_scenario -> string
+
+type repl_row = {
+  rr_seed : int;
+  rr_scenario : repl_scenario;
+  rr_txns : int;  (** committed transactions in the scenario run *)
+  rr_shipped : int;  (** shipping units delivered *)
+  rr_retries : int;
+  rr_lag_max : int;  (** highest observed lag, in segments *)
+  rr_stressed : bool;  (** the scenario's fault actually fired *)
+  rr_converged : bool;  (** shipper ended [Caught_up] *)
+  rr_state_agrees : bool;  (** row-for-row equal to the oracle *)
+  rr_pages_equal : bool;  (** canonical page bytes equal to the oracle *)
+  rr_asof_agrees : bool;  (** mid-history as-of query equals the oracle's *)
+}
+
+val repl_row_ok : repl_row -> bool
+
+val repl_soak_run :
+  ?quick:bool -> seed:int -> scenario:repl_scenario -> unit -> repl_row
+(** One scenario against a fault-free single-node oracle driven by the
+    same seed: run the replicated pair through the scenario, then compare
+    the replica-side engine to the oracle row-for-row, page-by-page in
+    canonical form, and through a mid-history as-of query. *)
+
+val repl_soak_campaign : ?seeds:int list -> ?quick:bool -> unit -> repl_row list
+(** {!repl_soak_run} for every scenario at each seed (default 3 seeds). *)
+
+val print_repl_rows : repl_row list -> unit

@@ -1,0 +1,385 @@
+(* Log-shipping replication (ISSUE 8).
+
+   The properties under test:
+   - shipping is exact: a replica pumped to Caught_up serves as-of reads
+     byte-equal (canonical page form) to the primary at the same wall
+     time, and its log is a byte-identical prefix of the primary's;
+   - the channel's seeded faults (drop, duplicate, delay, partition) cost
+     retries but never correctness — duplicate delivery is idempotent,
+     a partition disconnects and a healed link reconnects;
+   - a replica killed mid-catch-up reopens from its persisted recovery
+     checkpoint (analysis does not rescan shipped history), replays
+     committed-only records past it, and converges byte-equal to both the
+     primary and a never-crashed twin — at two seeds;
+   - retention on the primary never strands an attached lagging replica
+     (ship-horizon floor), and detaching releases the floor;
+   - failover promotes the replica into a primary that serves correct
+     pre-failover as-of queries, and the demoted primary rejoins as a
+     replica by truncating its divergent tail and converging on the new
+     timeline. *)
+
+module Media = Rw_storage.Media
+module Sim_clock = Rw_storage.Sim_clock
+module Lsn = Rw_storage.Lsn
+module Log_manager = Rw_wal.Log_manager
+module Log_record = Rw_wal.Log_record
+module Recovery = Rw_recovery.Recovery
+module As_of_snapshot = Rw_core.As_of_snapshot
+module Engine = Rw_engine.Engine
+module Database = Rw_engine.Database
+module Channel = Rw_repl.Channel
+module Replica = Rw_repl.Replica
+module Shipper = Rw_repl.Shipper
+module Failover = Rw_repl.Failover
+module Tpcc = Rw_workload.Tpcc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A TPC-C primary with committed history and small log segments (so
+   catch-up takes several shipping units). *)
+let build_primary ?(seed = 42) ?(segment_bytes = 16384) ?(txns = 60) () =
+  let eng = Engine.create ~media:Media.ram () in
+  let db =
+    Engine.create_database eng ~pool_capacity:1024 ~log_segment_bytes:segment_bytes "prim"
+  in
+  let cfg = { Tpcc.small_config with Tpcc.seed } in
+  Tpcc.load db cfg;
+  ignore (Database.checkpoint db);
+  let drv = Tpcc.create db cfg in
+  if txns > 0 then ignore (Tpcc.run_mix drv ~txns);
+  (eng, db, cfg, drv)
+
+(* Row-level logical state. *)
+let table_dump db =
+  List.map
+    (fun table ->
+      let rows = ref [] in
+      Database.scan db ~table ~f:(fun row -> rows := row :: !rows);
+      (table, List.rev !rows))
+    Tpcc.table_names
+
+(* Canonical-page byte equality of two engines' views at one wall time:
+   same [page_string] for every page either side materialised.  Split
+   LSNs are deliberately not compared — snapshot creation itself appends
+   a checkpoint record to the engine it runs on, so two engines' log
+   ends drift apart by exactly those (page-state-neutral) records once
+   either has served a snapshot. *)
+let snap_equal ?(name = "cmp") a b ~wall_us =
+  let va = Database.create_as_of_snapshot ~shared:false a ~name:(name ^ "_a") ~wall_us in
+  let vb = Database.create_as_of_snapshot ~shared:false b ~name:(name ^ "_b") ~wall_us in
+  let sa = Option.get (Database.snapshot_handle va) in
+  let sb = Option.get (Database.snapshot_handle vb) in
+  let ids =
+    As_of_snapshot.materialized_page_ids sa @ As_of_snapshot.materialized_page_ids sb
+  in
+  let ok =
+    List.for_all
+      (fun pid ->
+        let e =
+          String.equal (As_of_snapshot.page_string sa pid) (As_of_snapshot.page_string sb pid)
+        in
+        if not e then
+          Printf.eprintf "snap_equal %s: page %d differs\n%!" name
+            (Rw_storage.Page_id.to_int pid);
+        e)
+      ids
+  in
+  As_of_snapshot.drop sa;
+  As_of_snapshot.drop sb;
+  ok
+
+let log_prefix_equal primary replica_log =
+  let pl = Database.log primary in
+  let upto = Log_manager.end_lsn replica_log in
+  let mine = ref [] and theirs = ref [] in
+  Log_manager.iter_range replica_log ~from:(Log_manager.first_lsn replica_log) ~upto
+    (fun lsn r -> mine := (lsn, Log_record.encode r) :: !mine);
+  Log_manager.iter_range pl ~from:(Log_manager.first_lsn replica_log) ~upto (fun lsn r ->
+      theirs := (lsn, Log_record.encode r) :: !theirs);
+  !mine = !theirs
+
+(* --- export / ingest primitives --- *)
+
+let test_export_ingest_roundtrip () =
+  let _eng, db, _cfg, _drv = build_primary ~txns:25 () in
+  let src = Database.log db in
+  let clock = Sim_clock.create () in
+  let dst =
+    Log_manager.create ~clock ~media:Media.ram ~segment_bytes:(Log_manager.segment_size src) ()
+  in
+  let rec pump from =
+    match Log_manager.export_from src ~from with
+    | None -> ()
+    | Some ex ->
+        check_int "applied all" (List.length ex.Log_manager.ex_entries)
+          (Log_manager.ingest_entries dst ex.Log_manager.ex_entries);
+        (* duplicate delivery is an idempotent no-op *)
+        check_int "dup skipped" 0 (Log_manager.ingest_entries dst ex.Log_manager.ex_entries);
+        pump ex.Log_manager.ex_next
+  in
+  pump (Log_manager.first_lsn src);
+  check "copy ends at durable horizon"
+    (Lsn.equal (Log_manager.end_lsn dst) (Log_manager.flushed_lsn src))
+    true;
+  let dump_upto log upto =
+    List.filter (fun (l, _) -> Lsn.(l < upto)) (Log_manager.dump_entries log)
+  in
+  check "byte-identical prefix"
+    (dump_upto src (Log_manager.flushed_lsn src) = Log_manager.dump_entries dst)
+    true;
+  (* a gap is rejected *)
+  (match Log_manager.dump_entries dst with
+  | (_, data) :: _ ->
+      let bogus = Lsn.of_int (Lsn.to_int (Log_manager.end_lsn dst) + 64) in
+      check "gap rejected"
+        (try
+           ignore (Log_manager.ingest_entries dst [ (bogus, data) ]);
+           false
+         with Invalid_argument _ -> true)
+        true
+  | [] -> Alcotest.fail "empty dump");
+  (* lag measure reaches zero *)
+  check_int "caught up" 0 (Log_manager.segments_behind src ~from:(Log_manager.end_lsn dst))
+
+let test_truncate_from () =
+  let _eng, db, _cfg, _drv = build_primary ~txns:20 () in
+  let log = Database.log db in
+  let entries = Log_manager.dump_entries log in
+  let n = List.length entries in
+  let cut_lsn, _ = List.nth entries (n / 2) in
+  let keep = List.filter (fun (l, _) -> Lsn.(l < cut_lsn)) entries in
+  let epoch0 = Log_manager.invalidation_epoch log in
+  let dropped = Log_manager.truncate_from log cut_lsn in
+  check_int "dropped count" (n - List.length keep) dropped;
+  check "end at cut" (Lsn.equal (Log_manager.end_lsn log) cut_lsn) true;
+  check "epoch bumped" (Log_manager.invalidation_epoch log > epoch0) true;
+  check "survivors intact" (Log_manager.dump_entries log = keep) true;
+  check_int "noop above end" 0 (Log_manager.truncate_from log (Log_manager.end_lsn log))
+
+(* --- ship basics + stale horizon --- *)
+
+let test_ship_basics () =
+  let eng, db, _cfg, drv = build_primary ~txns:40 () in
+  let t_mid = Engine.now_us eng in
+  let replica = Replica.of_primary ~name:"r1" db in
+  ignore (Tpcc.run_mix drv ~txns:40);
+  let t_end = Engine.now_us eng in
+  let sh =
+    Shipper.attach ~primary:db ~replica
+      ~channel:(Channel.create ~clock:(Engine.clock eng) ())
+      ()
+  in
+  check "lagging before pump" (Shipper.state sh = Shipper.Lagging) true;
+  (* reads past the applied horizon refuse rather than lie *)
+  check "stale horizon raised"
+    (try
+       ignore (Replica.query_as_of replica ~name:"early" ~wall_us:t_end);
+       false
+     with Replica.Stale_horizon _ -> true)
+    true;
+  Shipper.catch_up sh;
+  check "caught up" (Shipper.state sh = Shipper.Caught_up) true;
+  check "lag zero" (Shipper.lag_segments sh = 0) true;
+  check "shipped something" (Shipper.shipped_segments sh > 0) true;
+  check "log is byte-identical prefix" (log_prefix_equal db (Database.log (Replica.db replica))) true;
+  check "as-of byte-equal (mid)" (snap_equal db (Replica.db replica) ~wall_us:t_mid) true;
+  (* a local replica read at an applied time works and agrees row-for-row *)
+  let view = Replica.query_as_of replica ~name:"ok" ~wall_us:t_mid in
+  let prim_view = Database.create_as_of_snapshot ~shared:false db ~name:"okp" ~wall_us:t_mid in
+  check "rows agree" (table_dump view = table_dump prim_view) true;
+  Shipper.detach sh
+
+(* --- channel faults: drop/dup/delay cost retries, never correctness --- *)
+
+let test_channel_faults () =
+  let eng, db, _cfg, drv = build_primary ~seed:7 ~txns:30 () in
+  let replica = Replica.of_primary ~name:"rf" db in
+  ignore (Tpcc.run_mix drv ~txns:50);
+  let chan =
+    Channel.create ~clock:(Engine.clock eng) ~seed:7
+      ~rates:{ Channel.drop = 0.25; duplicate = 0.25; delay = 0.2; partition = 0.0 }
+      ()
+  in
+  let sh = Shipper.attach ~primary:db ~replica ~channel:chan ~max_retries:50 () in
+  Shipper.catch_up sh;
+  check "caught up despite faults" (Shipper.state sh = Shipper.Caught_up) true;
+  let st = Channel.stats chan in
+  check "drops occurred" (st.Channel.dropped > 0) true;
+  check "dups occurred" (st.Channel.duplicated > 0) true;
+  check "retries counted" (Shipper.retries sh > 0) true;
+  check "faulty link, identical log"
+    (log_prefix_equal db (Database.log (Replica.db replica)))
+    true;
+  let wall = Engine.now_us eng in
+  check "faulty link, byte-equal state" (snap_equal db (Replica.db replica) ~wall_us:wall) true;
+  Shipper.detach sh
+
+let test_partition_reconnect () =
+  let eng, db, _cfg, drv = build_primary ~seed:11 ~txns:30 () in
+  let replica = Replica.of_primary ~name:"rp" db in
+  ignore (Tpcc.run_mix drv ~txns:30);
+  let chan = Channel.create ~clock:(Engine.clock eng) ~seed:11 () in
+  let sh = Shipper.attach ~primary:db ~replica ~channel:chan ~max_retries:3 () in
+  Channel.partition chan ~sends:1000;
+  Shipper.catch_up sh;
+  check "disconnected under partition" (Shipper.state sh = Shipper.Disconnected) true;
+  check "nothing shipped" (Shipper.shipped_segments sh = 0) true;
+  Channel.heal chan;
+  Shipper.catch_up sh;
+  check "reconnected and caught up" (Shipper.state sh = Shipper.Caught_up) true;
+  check "converged after heal" (log_prefix_equal db (Database.log (Replica.db replica))) true;
+  Shipper.detach sh
+
+(* --- replica crash mid-catch-up: resume from the recovery checkpoint --- *)
+
+let crash_resume_run seed =
+  let eng, db, cfg, drv = build_primary ~seed ~txns:30 () in
+  let replica = Replica.of_primary ~name:"rc" db in
+  let twin = Replica.of_primary ~name:"rt" db in
+  (* History with periodic primary checkpoints, so shipments carry
+     checkpoint records and the replica's recovery checkpoint advances. *)
+  for _ = 1 to 4 do
+    ignore (Tpcc.run_mix drv ~txns:20);
+    ignore (Database.checkpoint db)
+  done;
+  let clock = Engine.clock eng in
+  let sh = Shipper.attach ~primary:db ~replica ~channel:(Channel.create ~clock ()) () in
+  let sh_twin = Shipper.attach ~primary:db ~replica:twin ~channel:(Channel.create ~clock ()) () in
+  (* Partial catch-up: pump roughly half the backlog, then kill. *)
+  let lag0 = Shipper.lag_segments sh in
+  while Shipper.lag_segments sh > max 1 (lag0 / 2) do
+    ignore (Shipper.step sh)
+  done;
+  let rlog = Database.log (Replica.db replica) in
+  check "recovery checkpoint advanced past bootstrap"
+    (Lsn.(Log_manager.last_checkpoint rlog > Log_manager.first_lsn rlog))
+    true;
+  Replica.crash_and_reopen replica;
+  (* Redo-only restart: nothing appended, analysis resumed from the
+     persisted master record rather than the start of shipped history. *)
+  let stats = Option.get (Database.last_recovery_stats (Replica.db replica)) in
+  check_int "no undo on replica restart" 0 stats.Recovery.undone_ops;
+  let rlog = Database.log (Replica.db replica) in
+  check "bounded rescan"
+    (stats.Recovery.analysis.Recovery.records_scanned < Log_manager.record_count rlog)
+    true;
+  Shipper.catch_up sh;
+  Shipper.catch_up sh_twin;
+  check "crashed replica caught up" (Shipper.state sh = Shipper.Caught_up) true;
+  let wall = Engine.now_us eng in
+  ignore cfg;
+  check "byte-equal to primary"
+    (snap_equal ~name:"prim" db (Replica.db replica) ~wall_us:wall)
+    true;
+  check "byte-equal to never-crashed twin"
+    (snap_equal ~name:"twin" (Replica.db twin) (Replica.db replica) ~wall_us:wall)
+    true;
+  check "rows equal to primary" (table_dump (Replica.db replica) = table_dump db) true;
+  Shipper.detach sh;
+  Shipper.detach sh_twin
+
+let test_crash_resume_seed1 () = crash_resume_run 42
+let test_crash_resume_seed2 () = crash_resume_run 1337
+
+(* --- retention floor: a lagging replica is never stranded --- *)
+
+let test_retention_floor () =
+  let eng, db, _cfg, drv = build_primary ~seed:5 ~segment_bytes:8192 ~txns:20 () in
+  let replica = Replica.of_primary ~name:"rr" db in
+  let sh =
+    Shipper.attach ~primary:db ~replica
+      ~channel:(Channel.create ~clock:(Engine.clock eng) ())
+      ()
+  in
+  (* Aggressive retention while the replica lags: checkpoints ride
+     enforcement, but the ship-horizon floor must pin the log. *)
+  Database.set_retention db (Some 1000.0);
+  for _ = 1 to 5 do
+    ignore (Tpcc.run_mix drv ~txns:25);
+    ignore (Database.checkpoint db)
+  done;
+  let plog = Database.log db in
+  check "floor held retention back"
+    (Lsn.(Log_manager.first_lsn plog <= Replica.next_lsn replica))
+    true;
+  check "replica is genuinely behind" (Shipper.lag_segments sh > 0) true;
+  (* The lagging replica still catches up — nothing it needs was dropped. *)
+  Shipper.catch_up sh;
+  check "caught up after aggressive retention" (Shipper.state sh = Shipper.Caught_up) true;
+  check "state agrees" (table_dump (Replica.db replica) = table_dump db) true;
+  (* Detaching releases the floor: retention may now pass the old horizon.
+     Three more rounds, because the cut keeps one checkpoint of history
+     below the newest checkpoint older than the retention horizon. *)
+  let pinned = Replica.next_lsn replica in
+  Shipper.detach sh;
+  for _ = 1 to 3 do
+    ignore (Tpcc.run_mix drv ~txns:25);
+    ignore (Database.checkpoint db)
+  done;
+  check "floor released after detach" (Lsn.(Log_manager.first_lsn plog > pinned)) true
+
+(* --- failover + rejoin --- *)
+
+let test_failover_rejoin () =
+  let eng, db, _cfg, drv = build_primary ~seed:3 ~txns:40 () in
+  let replica = Replica.of_primary ~name:"fo" db in
+  ignore (Tpcc.run_mix drv ~txns:40);
+  let clock = Engine.clock eng in
+  let sh = Shipper.attach ~primary:db ~replica ~channel:(Channel.create ~clock ()) () in
+  Shipper.catch_up sh;
+  let t_pre = Engine.now_us eng in
+  let pre_dump = table_dump db in
+  (* Divergent tail: committed work past the last shipment that will
+     never reach the replica — lost by the failover, truncated at rejoin. *)
+  ignore (Tpcc.run_mix drv ~txns:10);
+  Shipper.detach sh;
+  (* Primary dies.  Promote the (only) replica. *)
+  check "candidate selection" (Failover.most_caught_up [ replica ] == replica) true;
+  let new_primary, at = Failover.promote replica in
+  check "promotion horizon below dead primary's end"
+    (Lsn.(at <= Log_manager.end_lsn (Database.log db)))
+    true;
+  (* The new primary serves correct as-of queries for pre-failover times. *)
+  let v = Database.create_as_of_snapshot new_primary ~name:"pre" ~wall_us:t_pre in
+  check "pre-failover as-of on promoted primary" (table_dump v = pre_dump) true;
+  (* New timeline: fresh traffic on the new primary. *)
+  let drv2 = Tpcc.create new_primary { _cfg with Tpcc.seed = 999 } in
+  ignore (Tpcc.run_mix drv2 ~txns:30);
+  (* The demoted primary rejoins as a replica: divergent tail truncated,
+     pages rewound, committed-only replay past its recovery point. *)
+  let rejoined = Failover.rejoin ~name:"demoted" ~at db in
+  check "divergent tail cut" (Lsn.equal (Replica.next_lsn rejoined) at) true;
+  let sh2 =
+    Shipper.attach ~primary:new_primary ~replica:rejoined ~channel:(Channel.create ~clock ()) ()
+  in
+  Shipper.catch_up sh2;
+  check "rejoined replica caught up" (Shipper.state sh2 = Shipper.Caught_up) true;
+  check "rejoined log equals new primary's"
+    (log_prefix_equal new_primary (Database.log (Replica.db rejoined)))
+    true;
+  check "rejoined state byte-equal"
+    (snap_equal new_primary (Replica.db rejoined) ~wall_us:(Engine.now_us eng))
+    true;
+  check "rejoined rows equal" (table_dump (Replica.db rejoined) = table_dump new_primary) true;
+  Shipper.detach sh2
+
+let () =
+  Alcotest.run "repl"
+    [
+      ( "log-shipping",
+        [
+          Alcotest.test_case "export/ingest roundtrip" `Quick test_export_ingest_roundtrip;
+          Alcotest.test_case "truncate_from" `Quick test_truncate_from;
+          Alcotest.test_case "ship basics + stale horizon" `Quick test_ship_basics;
+          Alcotest.test_case "channel faults" `Quick test_channel_faults;
+          Alcotest.test_case "partition disconnect/reconnect" `Quick test_partition_reconnect;
+          Alcotest.test_case "crash mid-catch-up resumes from checkpoint (seed 42)" `Quick
+            test_crash_resume_seed1;
+          Alcotest.test_case "crash mid-catch-up resumes from checkpoint (seed 1337)" `Quick
+            test_crash_resume_seed2;
+          Alcotest.test_case "retention floor protects lagging replica" `Quick
+            test_retention_floor;
+          Alcotest.test_case "failover + rejoin" `Quick test_failover_rejoin;
+        ] );
+    ]

@@ -59,6 +59,7 @@ base_prepare_cold=$(bench_value "core-primitives/prepare_page_as_of (cold segmen
 base_commit=$(bench_value "core-primitives/group commit (8 txns/flush)" || true)
 base_shared=$(bench_value "core-primitives/prepare_page_as_of (shared-cache hit)" || true)
 base_analysis=$(bench_value "core-primitives/recovery-analysis-only" || true)
+base_catchup=$(bench_value "core-primitives/replica-catchup-apply (parallel redo)" || true)
 
 dune exec bench/main.exe -- all --quick --json >/dev/null
 test -s BENCH_micro.json
@@ -93,11 +94,20 @@ check_regression "core-primitives/prepare_page_as_of (shared-cache hit)" "$base_
 # Instant restart's time-to-first-query is O(analysis): guard the analysis
 # pass so the pre-open work cannot silently grow back toward full replay.
 check_regression "core-primitives/recovery-analysis-only" "$base_analysis"
+# Replica catch-up is bounded by partition-parallel redo of shipped
+# segments: guard the apply rate so replication lag cannot silently grow.
+check_regression "core-primitives/replica-catchup-apply (parallel redo)" "$base_catchup"
 
 echo "== fault-injection soak (fixed seeds, random crash points) =="
 # TPC-C under torn writes / bit rot / transient errors / torn log tails,
 # crashed at seed-derived points, recovered, repaired, and verified against
 # a fault-free oracle.  Exits non-zero if any crash point fails.
 dune exec bin/rewind_cli.exe -- faultsoak --seeds 11,23,47 --quick
+
+echo "== replication soak (fixed seeds) =="
+# Replica crash mid-catch-up, sustained lag, network partition, and
+# primary failover + rejoin, each converging byte-equal (canonical page
+# form) to a fault-free single-node oracle.  Exits non-zero on divergence.
+dune exec bin/rewind_cli.exe -- replsoak --seeds 11,23,47 --quick
 
 echo "== ci ok =="
