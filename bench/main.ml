@@ -481,6 +481,82 @@ module Micro = struct
        in
        (rlog, rpool, from, Log_manager.end_lsn rlog, restore))
 
+  (* What-if selective undo at a fixed operating point: a 64-transaction
+     single-table history whose first half chains through shared pages
+     and whose second half writes private pages.  The graph-build row
+     prices the append-time-index path (no log scan); the replay rows
+     price the non-mutating target computation ([Selective.preview]) for
+     a mid-history victim — selective replay touches only the victim's
+     dependent set, the full-rewind baseline recomputes every later
+     transaction, and the gap between the two rows is e11's claim at
+     microbenchmark scale. *)
+  let whatif_env =
+    lazy
+      (let module Database = Rw_engine.Database in
+       let module Row = Rw_engine.Row in
+       let module Schema = Rw_catalog.Schema in
+       let clock = Sim_clock.create () in
+       let db = Database.create ~name:"bench_whatif" ~clock ~media:Media.ram () in
+       let cols =
+         [
+           { Schema.name = "k"; ctype = Schema.Int }; { Schema.name = "v"; ctype = Schema.Text };
+         ]
+       in
+       let value r k =
+         let head = Printf.sprintf "r%03d-k%03d-" r k in
+         head ^ String.make (600 - String.length head) 'x'
+       in
+       (* 600 B rows: keys 20 apart land on distinct leaves, so the
+          page-level dependency structure is the one constructed here. *)
+       Database.with_txn db (fun txn ->
+           ignore (Database.create_table db txn ~table:"t" ~columns:cols ());
+           for k = 0 to 199 do
+             Database.insert db txn ~table:"t" [ Row.Int (Int64.of_int k); Row.Text (value 0 k) ]
+           done);
+       ignore (Database.checkpoint db);
+       let history = 64 and chain = 32 in
+       let graph0 = Rw_whatif.Dep_graph.build ~log:(Database.log db) in
+       let base_nodes = Rw_whatif.Dep_graph.node_count graph0 in
+       for i = 1 to history do
+         let keys = if i <= chain then [ 0; 20 ] else [ 40 + (20 * ((i - chain) mod 8)) ] in
+         Database.with_txn db (fun txn ->
+             List.iter
+               (fun k ->
+                 Database.update db txn ~table:"t" [ Row.Int (Int64.of_int k); Row.Text (value i k) ])
+               keys)
+       done;
+       let log = Database.log db in
+       let graph = Rw_whatif.Dep_graph.build ~log in
+       let victim =
+         (List.nth (Rw_whatif.Dep_graph.nodes graph) (base_nodes + 4)).Rw_whatif.Dep_graph.txn
+       in
+       (Database.ctx db, log, graph, victim))
+
+  let test_dep_graph_build =
+    Test.make ~name:"dep-graph-build (64-txn history)"
+      (Staged.stage (fun () ->
+           let _ctx, log, _graph, _victim = Lazy.force whatif_env in
+           ignore (Rw_whatif.Dep_graph.build ~log)))
+
+  let test_selective_replay =
+    Test.make ~name:"selective-replay-vs-full-rewind: selective"
+      (Staged.stage (fun () ->
+           let ctx, log, graph, victim = Lazy.force whatif_env in
+           match Rw_whatif.Selective.preview ~ctx ~log ~graph ~victim () with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+
+  let test_full_rewind =
+    Test.make ~name:"selective-replay-vs-full-rewind: full baseline"
+      (Staged.stage (fun () ->
+           let ctx, log, graph, victim = Lazy.force whatif_env in
+           match
+             Rw_whatif.Selective.preview ~ctx ~log ~graph ~victim
+               ~scope:Rw_whatif.Selective.All_successors ()
+           with
+           | Ok _ -> ()
+           | Error _ -> assert false))
+
   let test_replica_catchup =
     Test.make ~name:"replica-catchup-apply (parallel redo)"
       (Staged.stage (fun () ->
@@ -508,6 +584,9 @@ module Micro = struct
         test_recovery_full ~domains:1;
         test_recovery_full ~domains:4;
         test_replica_catchup;
+        test_dep_graph_build;
+        test_selective_replay;
+        test_full_rewind;
         test_group_commit ~batch:1;
         test_group_commit ~batch:8;
         test_group_commit ~batch:64;
@@ -590,8 +669,8 @@ let () =
               | Some fig -> Experiments.run ~quick fig
               | None ->
                   Printf.eprintf
-                    "unknown experiment %S (expected: fig5..fig11, sec6_3, sec6_4, e8, ablation, \
-                     micro, all)\n"
+                    "unknown experiment %S (expected: fig5..fig11, sec6_3, sec6_4, e8..e11, \
+                     ablation, faults, explain, segments, micro, all)\n"
                     arg;
                   exit 2))
         names

@@ -327,6 +327,76 @@ let meta_command session eng line =
   | "\\explain" :: rest when rest <> [] ->
       run_statement session ("EXPLAIN " ^ String.concat " " rest);
       `Continue
+  | "\\whatif" :: args -> (
+      match Executor.current_database session with
+      | None ->
+          Printf.printf "no database selected (USE <db>)\n%!";
+          `Continue
+      | Some name -> (
+          match Engine.find_database eng name with
+          | Some db -> (
+              let log = Rw_engine.Database.log db in
+              let graph = Rw_whatif.Dep_graph.build ~log in
+              match args with
+              | [] ->
+                  Printf.printf
+                    "dependency graph: %d committed transactions, %d edges (%s)\n\
+                     usage: \\whatif <txn-id> for one transaction's closure;\n\
+                    \       REWIND TRANSACTION <id> [AS <view>] to remove it\n%!"
+                    (Rw_whatif.Dep_graph.node_count graph)
+                    (Rw_whatif.Dep_graph.edge_count graph)
+                    (if Rw_whatif.Dep_graph.built_from_index graph then
+                       "from the append-time write-set index"
+                     else "rebuilt by log scan");
+                  `Continue
+              | [ id ] -> (
+                  match int_of_string_opt id with
+                  | None ->
+                      Printf.printf "usage: \\whatif [txn-id]\n%!";
+                      `Continue
+                  | Some id -> (
+                      let txn = Rw_wal.Txn_id.of_int id in
+                      match Rw_whatif.Dep_graph.find graph txn with
+                      | None ->
+                          Printf.printf "no committed transaction %d in the retained log\n%!"
+                            id;
+                          `Continue
+                      | Some node ->
+                          let open Rw_whatif.Dep_graph in
+                          let direct = dependents graph txn in
+                          let closure = closure graph txn in
+                          let pages =
+                            List.sort_uniq Rw_storage.Page_id.compare
+                              (List.concat_map (fun n -> List.map fst n.writes) closure)
+                          in
+                          Printf.printf
+                            "transaction %d: %d page ops over %d pages, committed at %.6f s%s\n"
+                            id node.ops (List.length node.writes)
+                            (node.commit_wall_us /. 1e6)
+                            (if node.structural then " [structural]" else "");
+                          Printf.printf
+                            "direct dependents : %d\n\
+                             downstream closure: %d transactions touching %d pages\n"
+                            (List.length direct)
+                            (List.length closure - 1)
+                            (List.length pages);
+                          Printf.printf "closure           : %s\n"
+                            (String.concat ", "
+                               (List.map
+                                  (fun n -> string_of_int (Rw_wal.Txn_id.to_int n.txn))
+                                  closure));
+                          Printf.printf
+                            "REWIND TRANSACTION %d removes it and replays the %d dependents;\n\
+                             add AS <view> for a read-only what-if preview\n%!"
+                            id
+                            (List.length closure - 1);
+                          `Continue))
+              | _ ->
+                  Printf.printf "usage: \\whatif [txn-id]\n%!";
+                  `Continue)
+          | None ->
+              Printf.printf "current database vanished\n%!";
+              `Continue))
   | [ "\\help" ] | [ "\\h" ] ->
       print_endline
         "meta commands:\n\
@@ -344,6 +414,7 @@ let meta_command session eng line =
         \  \\trace on|off|status|clear|dump <path>\n\
         \                     trace collector; dump writes Chrome trace_event JSON\n\
         \  \\explain SELECT .. run a query and report its rewind cost\n\
+        \  \\whatif [txn-id]   transaction dependency graph / one txn's closure\n\
         \  \\repl attach|ship|status|detach\n\
         \                     log-shipping replica of the current database\n\
         \  \\q                 quit\n\
@@ -351,7 +422,7 @@ let meta_command session eng line =
         \  BEGIN/COMMIT/ROLLBACK, USE, SHOW TABLES|DATABASES|HISTORY, CHECKPOINT,\n\
         \  CREATE DATABASE s AS SNAPSHOT OF db AS OF <t|-secs>,\n\
         \  ALTER DATABASE db SET UNDO_INTERVAL = <n> SECONDS|MINUTES|HOURS,\n\
-        \  UNDO TRANSACTION <id>";
+        \  UNDO TRANSACTION <id>, REWIND TRANSACTION <id> [AS <view>]";
       `Continue
   | _ ->
       ignore session;
@@ -464,6 +535,17 @@ let replsoak seeds quick =
   Rw_workload.Experiments.print_repl_rows rows;
   if not (List.for_all Rw_workload.Experiments.repl_row_ok rows) then exit 1
 
+let whatifsoak seeds quick =
+  Printf.printf "what-if soak: scenarios %s | seeds %s%s\n%!"
+    (String.concat ","
+       (List.map Rw_workload.Experiments.whatif_scenario_name
+          Rw_workload.Experiments.whatif_scenarios))
+    (String.concat "," (List.map string_of_int seeds))
+    (if quick then " (quick)" else "");
+  let rows = Rw_workload.Experiments.whatif_soak_campaign ~seeds ~quick () in
+  Rw_workload.Experiments.print_whatif_rows rows;
+  if not (List.for_all Rw_workload.Experiments.whatif_row_ok rows) then exit 1
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -538,10 +620,28 @@ let replsoak_cmd =
           single-node oracle (exit 1 on any divergence)")
     Term.(const replsoak $ seeds $ quick)
 
+let whatifsoak_cmd =
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) [ 11; 23; 47 ]
+      & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Comma-separated workload seeds.")
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Shrink the workload for smoke runs.") in
+  Cmd.v
+    (Cmd.info "whatifsoak"
+       ~doc:
+         "What-if soak: selectively remove a committed transaction per dependency scenario \
+          (chain, independent, mixed), publish a what-if view and an in-place repair, and \
+          verify both byte-equal (canonical masked pages + rows + pre-victim as-of) against \
+          an oracle replaying the history minus the victim from scratch (exit 1 on any \
+          inequality)")
+    Term.(const whatifsoak $ seeds $ quick)
+
 let main =
   Cmd.group ~default:Term.(const repl $ media_term)
     (Cmd.info "rewind_cli" ~version:"1.0.0"
        ~doc:"Transaction-log based point-in-time query engine (VLDB'12 reproduction)")
-    [ repl_cmd; exec_cmd; demo_cmd; faultsoak_cmd; replsoak_cmd ]
+    [ repl_cmd; exec_cmd; demo_cmd; faultsoak_cmd; replsoak_cmd; whatifsoak_cmd ]
 
 let () = exit (Cmd.eval main)

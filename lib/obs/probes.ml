@@ -122,6 +122,36 @@ let sessions_live =
     ~help:"Writer and as-of reader sessions currently open in session managers"
     "sessions.live"
 
+(* What-if (selective transaction undo) *)
+
+let whatif_graph_builds =
+  counter ~unit_:"graphs" ~help:"Transaction dependency graphs built from the log"
+    "whatif.graph_builds"
+
+let whatif_graph_edges =
+  counter ~unit_:"edges" ~help:"Dependency edges added across all dependency-graph builds"
+    "whatif.graph_edges"
+
+let whatif_rewinds =
+  counter ~unit_:"rewinds"
+    ~help:"Selective transaction rewinds executed (in-place repairs and what-if views)"
+    "whatif.rewinds"
+
+let whatif_pages_rewound =
+  counter ~unit_:"pages"
+    ~help:"Pages rewound to their dependency-cut LSN by selective rewinds"
+    "whatif.pages_rewound"
+
+let whatif_ops_replayed =
+  counter ~unit_:"ops"
+    ~help:"Dependent-transaction operations re-applied by dependency-aware replay"
+    "whatif.ops_replayed"
+
+let whatif_conflicts =
+  counter ~unit_:"rewinds"
+    ~help:"Selective rewinds refused as conflicted (structural operations or replay mismatch)"
+    "whatif.conflicts"
+
 (* Replication *)
 
 let repl_segments_shipped =

@@ -62,6 +62,15 @@ val snapshot_shared_misses : Metrics.counter
 
 val sessions_live : Metrics.gauge
 
+(** {1 What-if (selective transaction undo)} *)
+
+val whatif_graph_builds : Metrics.counter
+val whatif_graph_edges : Metrics.counter
+val whatif_rewinds : Metrics.counter
+val whatif_pages_rewound : Metrics.counter
+val whatif_ops_replayed : Metrics.counter
+val whatif_conflicts : Metrics.counter
+
 (** {1 Replication} *)
 
 val repl_segments_shipped : Metrics.counter

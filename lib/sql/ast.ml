@@ -42,6 +42,7 @@ type statement =
   | Show_databases
   | Show_history
   | Undo_transaction of int
+  | Rewind_transaction of { txn : int; view : string option }
   | Checkpoint_stmt
   | Explain of select
 
@@ -89,5 +90,9 @@ let pp_statement fmt = function
   | Show_databases -> Format.fprintf fmt "SHOW DATABASES"
   | Show_history -> Format.fprintf fmt "SHOW HISTORY"
   | Undo_transaction id -> Format.fprintf fmt "UNDO TRANSACTION %d" id
+  | Rewind_transaction { txn; view = None } ->
+      Format.fprintf fmt "REWIND TRANSACTION %d" txn
+  | Rewind_transaction { txn; view = Some name } ->
+      Format.fprintf fmt "REWIND TRANSACTION %d AS %s" txn name
   | Checkpoint_stmt -> Format.fprintf fmt "CHECKPOINT"
   | Explain s -> Format.fprintf fmt "EXPLAIN SELECT FROM %a" pp_table_ref s.from

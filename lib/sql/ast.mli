@@ -60,6 +60,11 @@ type statement =
           operation count) — the hunting ground for {!Undo_transaction} *)
   | Undo_transaction of int
       (** selectively compensate one committed transaction (paper §8) *)
+  | Rewind_transaction of { txn : int; view : string option }
+      (** remove one committed transaction {e and replay its dependents}
+          ([Rw_whatif.Selective]): with [view = Some name] the
+          victim-free state is published as a read-only what-if database
+          named [name]; with [None] it is repaired in place *)
   | Checkpoint_stmt
   | Explain of select
       (** run the query and report its rewind cost — pages rewound,

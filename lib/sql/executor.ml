@@ -479,6 +479,52 @@ let execute s (stmt : Ast.statement) =
           error "cannot undo transaction %d: %s" id
             (String.concat "; "
                (List.map (fun c -> c.Rw_core.Txn_rewind.reason) cs)))
+  | Ast.Rewind_transaction { txn; view } -> (
+      let db = resolve_db s None in
+      if s.txn <> None then error "REWIND TRANSACTION cannot run inside an open transaction";
+      if Database.is_read_only db then
+        error "database %s is a read-only snapshot" (Database.name db);
+      let log = Database.log db in
+      let graph = Rw_whatif.Dep_graph.build ~log in
+      let victim = Rw_wal.Txn_id.of_int txn in
+      let describe cs =
+        String.concat "; "
+          (List.map (fun (c : Rw_whatif.Selective.conflict) -> c.Rw_whatif.Selective.reason) cs)
+      in
+      try
+        match view with
+        | None -> (
+            match
+              Rw_whatif.Selective.repair ~ctx:(Database.ctx db) ~log ~graph ~victim
+                ~wall_us:(Database.now_us db) ()
+            with
+            | Ok (st : Rw_whatif.Selective.stats) ->
+                Message
+                  (Printf.sprintf
+                     "transaction %d removed in place: %d dependent transaction%s replayed \
+                      over %d page%s (%d ops unwound, %d replayed)"
+                     txn st.replayed_txns
+                     (if st.replayed_txns = 1 then "" else "s")
+                     st.pages_rewound
+                     (if st.pages_rewound = 1 then "" else "s")
+                     st.ops_unwound st.ops_replayed)
+            | Error cs -> error "cannot rewind transaction %d: %s" txn (describe cs))
+        | Some name -> (
+            match
+              Rw_whatif.Selective.what_if_view ~engine:s.eng ~db ~graph ~victim ~name ()
+            with
+            | Ok (_, (st : Rw_whatif.Selective.stats)) ->
+                Message
+                  (Printf.sprintf
+                     "what-if view %s created without transaction %d: %d dependent \
+                      transaction%s replayed over %d page%s"
+                     name txn st.replayed_txns
+                     (if st.replayed_txns = 1 then "" else "s")
+                     st.pages_rewound
+                     (if st.pages_rewound = 1 then "" else "s"))
+            | Error cs -> error "cannot rewind transaction %d: %s" txn (describe cs))
+      with Rw_whatif.Selective.Unknown_txn _ ->
+        error "no committed transaction %d in the retained log" txn)
   | Ast.Checkpoint_stmt ->
       let db = resolve_db s None in
       ignore (Database.checkpoint db);

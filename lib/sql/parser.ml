@@ -379,6 +379,15 @@ let statement c : Ast.statement =
       match advance c with
       | Int_tok n -> Ast.Undo_transaction (Int64.to_int n)
       | _ -> error "expected transaction id after UNDO TRANSACTION")
+  | Some "REWIND" -> (
+      ignore (advance c);
+      expect_kw c "TRANSACTION";
+      match advance c with
+      | Int_tok n ->
+          let txn = Int64.to_int n in
+          if accept_kw c "AS" then Ast.Rewind_transaction { txn; view = Some (ident c) }
+          else Ast.Rewind_transaction { txn; view = None }
+      | _ -> error "expected transaction id after REWIND TRANSACTION")
   | Some "CHECKPOINT" ->
       ignore (advance c);
       Ast.Checkpoint_stmt

@@ -75,6 +75,22 @@ let mk_segment ~segment_bytes base =
    [seg_lo, seg_hi) and never mutated. *)
 let tombstone = mk_segment ~segment_bytes:64 0
 
+(* Per-transaction summary accumulator for the append-time write-set
+   index (what-if dependency graphs).  Mutable builder; the public
+   [txn_summary] view is assembled on query. *)
+type txn_acc = {
+  a_txn : Txn_id.t;
+  a_first : Lsn.t;
+  mutable a_last_op : Lsn.t;
+  mutable a_commit : Lsn.t;
+  mutable a_wall : float;
+  mutable a_aborted : bool;
+  mutable a_ops : int;
+  mutable a_clr : bool;
+  mutable a_structural : bool;
+  mutable a_writes_rev : (Page_id.t * Lsn.t) list; (* newest-first, first-write lsn per page *)
+}
+
 type t = {
   clock : Sim_clock.t;
   media : Media.t;
@@ -110,6 +126,13 @@ type t = {
          counter and lazily discard entries from older epochs; ordinary
          appends never bump it, because chain rewinds are deterministic
          over an append-only history. *)
+  txn_index : (int, txn_acc) Hashtbl.t;
+      (* Append-time per-transaction write-set summaries (unmodeled
+         metadata, like the decoded-record cache).  Maintained on every
+         ingestion path so dependency-graph construction never scans the
+         log; events that drop tail records void it ([txn_index_valid])
+         and the next query rebuilds it with one priced scan. *)
+  mutable txn_index_valid : bool;
 }
 
 let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536)
@@ -140,6 +163,8 @@ let create ~clock ~media ?(cache_blocks = 128) ?(block_bytes = 65536)
     loaded_count = 0;
     dropped_count = 0;
     invalidation_epoch = 0;
+    txn_index = Hashtbl.create 64;
+    txn_index_valid = true;
   }
 
 let clock t = t.clock
@@ -469,6 +494,77 @@ let unindex_record t seg pk lsn =
   seg.s_index_bytes <- seg.s_index_bytes - !sub;
   t.index_bytes <- t.index_bytes - !sub
 
+(* Txn write-set index maintenance from a header peek.  [wall] is forced
+   only for commit records — the one field the header lacks; every
+   ingestion path can supply it either from the record in hand (append)
+   or by decoding the tiny commit payload (restore/ingest). *)
+let structural_op_kind = function
+  | Log_record.K_set_header | Log_record.K_format | Log_record.K_preformat
+  | Log_record.K_full_image ->
+      true
+  | Log_record.K_insert_row | Log_record.K_delete_row | Log_record.K_update_row -> false
+
+let note_record t lsn pk ~wall =
+  let txn = pk.Log_record.p_txn in
+  if not (Txn_id.is_nil txn) then begin
+    let key = Txn_id.to_int txn in
+    let acc =
+      match Hashtbl.find_opt t.txn_index key with
+      | Some a -> a
+      | None ->
+          let a =
+            {
+              a_txn = txn;
+              a_first = lsn;
+              a_last_op = Lsn.nil;
+              a_commit = Lsn.nil;
+              a_wall = 0.0;
+              a_aborted = false;
+              a_ops = 0;
+              a_clr = false;
+              a_structural = false;
+              a_writes_rev = [];
+            }
+          in
+          Hashtbl.replace t.txn_index key a;
+          a
+    in
+    match pk.Log_record.p_kind with
+    | Log_record.K_commit ->
+        acc.a_commit <- lsn;
+        acc.a_wall <- Lazy.force wall
+    | Log_record.K_abort -> acc.a_aborted <- true
+    | Log_record.K_page_op k | Log_record.K_clr k ->
+        acc.a_last_op <- lsn;
+        acc.a_ops <- acc.a_ops + 1;
+        (match pk.Log_record.p_kind with
+        | Log_record.K_clr _ -> acc.a_clr <- true
+        | _ -> ());
+        if structural_op_kind k then acc.a_structural <- true;
+        let page = pk.Log_record.p_page in
+        if not (List.exists (fun (p, _) -> Page_id.equal p page) acc.a_writes_rev) then
+          acc.a_writes_rev <- (page, lsn) :: acc.a_writes_rev
+    | Log_record.K_begin | Log_record.K_end | Log_record.K_checkpoint -> ()
+  end
+
+let wall_of_record record =
+  lazy
+    (match record.Log_record.body with Log_record.Commit { wall_us } -> wall_us | _ -> 0.0)
+
+let wall_of_data data =
+  lazy
+    (match (Log_record.decode data).Log_record.body with
+    | Log_record.Commit { wall_us } -> wall_us
+    | _ -> 0.0)
+
+(* Tail records were dropped (crash, torn-tail repair, replication
+   divergence cut): the incremental summaries may describe records that no
+   longer exist.  Void the index; the next query rebuilds it with one
+   priced scan of the retained log. *)
+let void_txn_index t =
+  Hashtbl.reset t.txn_index;
+  t.txn_index_valid <- false
+
 (* ---------- append path ---------- *)
 
 (* Physical placement shared by [append] and [restore_entries]:
@@ -497,7 +593,9 @@ let append t record =
   let seg = raw_append t data lsn in
   t.unflushed_bytes <- t.unflushed_bytes + len;
   touch_cache_on_append t lsn len;
-  index_record t seg (Log_record.peek data) lsn;
+  let pk = Log_record.peek data in
+  index_record t seg pk lsn;
+  if t.txn_index_valid then note_record t lsn pk ~wall:(wall_of_record record);
   (* The record object is in hand; seed the decoded cache so the first
      chain walk over fresh history never decodes. *)
   seg.s_cached.(seg.s_n - 1) <-
@@ -981,6 +1079,14 @@ let truncate_before t lsn =
       end
     end;
     t.invalidation_epoch <- t.invalidation_epoch + 1;
+    (* Txn summaries whose first record fell below the boundary can no
+       longer be rewound or replayed; drop them wholesale. *)
+    let dead =
+      Hashtbl.fold
+        (fun key acc dead -> if Lsn.(acc.a_first < lsn) then key :: dead else dead)
+        t.txn_index []
+    in
+    List.iter (Hashtbl.remove t.txn_index) dead;
     update_resident_gauge t
   end
 
@@ -1010,7 +1116,9 @@ let restore_entries t entries =
       if not (Lsn.equal lsn t.end_lsn) then
         invalid_arg "Log_manager.restore_entries: non-contiguous entries";
       let seg = raw_append t data lsn in
-      index_record t seg (Log_record.peek data) lsn;
+      let pk = Log_record.peek data in
+      index_record t seg pk lsn;
+      if t.txn_index_valid then note_record t lsn pk ~wall:(wall_of_data data);
       (* Replay sealing so a restored log has the same segment shape as
          the one that was dumped — but unpriced: persistence is an
          offline operation. *)
@@ -1097,6 +1205,7 @@ let truncate_from t lsn =
     (* The dropped LSNs will be recycled by whoever appends next (the new
        primary's stream, re-shipped) — derived rewound state is void. *)
     t.invalidation_epoch <- t.invalidation_epoch + 1;
+    void_txn_index t;
     update_resident_gauge t;
     dropped
   end
@@ -1143,6 +1252,7 @@ let crash t =
   (* LSNs above the surviving tail will be recycled by post-restart
      appends; any rewound state derived from the pre-crash log is void. *)
   t.invalidation_epoch <- t.invalidation_epoch + 1;
+  void_txn_index t;
   update_resident_gauge t
 
 let repair_tail t =
@@ -1186,6 +1296,7 @@ let repair_tail t =
       t.unflushed_bytes <- 0;
       if Lsn.(t.last_checkpoint >= torn_lsn) then t.last_checkpoint <- newest_checkpoint t;
       t.io.Io_stats.corruptions_detected <- t.io.Io_stats.corruptions_detected + 1;
+      void_txn_index t;
       update_resident_gauge t;
       Some (torn_lsn, dropped)
 
@@ -1267,7 +1378,9 @@ let ingest_entries t entries =
         let seg = raw_append t data lsn in
         t.unflushed_bytes <- t.unflushed_bytes + String.length data;
         touch_cache_on_append t lsn (String.length data);
-        index_record t seg (Log_record.peek data) lsn;
+        let pk = Log_record.peek data in
+        index_record t seg pk lsn;
+        if t.txn_index_valid then note_record t lsn pk ~wall:(wall_of_data data);
         incr applied;
         if seg_used seg >= t.segment_bytes then seal_segment t seg
       end)
@@ -1278,3 +1391,69 @@ let ingest_entries t entries =
      recovery checkpoint explicitly (after flushing redone pages). *)
   if !applied > 0 then flush t ~upto:t.end_lsn else update_resident_gauge t;
   !applied
+
+(* ---------- txn write-set summaries (what-if dependency graphs) ---------- *)
+
+type txn_summary = {
+  ts_txn : Txn_id.t;
+  ts_first_lsn : Lsn.t;
+  ts_last_lsn : Lsn.t;
+  ts_commit_lsn : Lsn.t;
+  ts_commit_wall_us : float;
+  ts_ops : int;
+  ts_has_clr : bool;
+  ts_structural : bool;
+  ts_writes : (Page_id.t * Lsn.t) list;
+}
+
+let txn_index_live t = t.txn_index_valid
+
+let rebuild_txn_index t =
+  Hashtbl.reset t.txn_index;
+  t.txn_index_valid <- true;
+  iter_range_peek t ~from:t.truncated_below ~upto:t.end_lsn (fun lsn pk decode ->
+      note_record t lsn pk
+        ~wall:
+          (lazy
+            (match (decode ()).Log_record.body with
+            | Log_record.Commit { wall_us } -> wall_us
+            | _ -> 0.0)))
+
+let txn_summaries t =
+  if not t.txn_index_valid then rebuild_txn_index t;
+  Hashtbl.fold
+    (fun _ a acc ->
+      if (not (Lsn.is_nil a.a_commit)) && not a.a_aborted then
+        {
+          ts_txn = a.a_txn;
+          ts_first_lsn = a.a_first;
+          ts_last_lsn = a.a_last_op;
+          ts_commit_lsn = a.a_commit;
+          ts_commit_wall_us = a.a_wall;
+          ts_ops = a.a_ops;
+          ts_has_clr = a.a_clr;
+          ts_structural = a.a_structural;
+          ts_writes = List.rev a.a_writes_rev;
+        }
+        :: acc
+      else acc)
+    t.txn_index []
+  |> List.sort (fun x y -> Lsn.compare x.ts_commit_lsn y.ts_commit_lsn)
+
+let txn_summary t txn =
+  if not t.txn_index_valid then rebuild_txn_index t;
+  match Hashtbl.find_opt t.txn_index (Txn_id.to_int txn) with
+  | Some a when (not (Lsn.is_nil a.a_commit)) && not a.a_aborted ->
+      Some
+        {
+          ts_txn = a.a_txn;
+          ts_first_lsn = a.a_first;
+          ts_last_lsn = a.a_last_op;
+          ts_commit_lsn = a.a_commit;
+          ts_commit_wall_us = a.a_wall;
+          ts_ops = a.a_ops;
+          ts_has_clr = a.a_clr;
+          ts_structural = a.a_structural;
+          ts_writes = List.rev a.a_writes_rev;
+        }
+  | _ -> None

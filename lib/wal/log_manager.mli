@@ -323,3 +323,51 @@ val truncate_from : t -> Rw_storage.Lsn.t -> int
     committed-only replay of the new primary's stream.  Bumps
     {!invalidation_epoch} (the cut LSNs will be recycled).  Returns the
     number of records dropped. *)
+
+(** {2 Transaction write-set summaries}
+
+    The log manager maintains a per-transaction summary index {e at
+    append time}, from the same header peek that feeds the page-chain
+    index: which pages each transaction wrote (with the LSN of its first
+    write to each), how many page operations it logged, whether it
+    committed and when.  What-if dependency graphs
+    ([Rw_whatif.Dep_graph]) are built from these summaries in O(live
+    transactions) with no log scan and no payload decode.
+
+    The index rides every ingestion path (append, restore, replication
+    ingest).  Retention truncation prunes summaries whose first record
+    fell below the boundary; events that drop tail records — {!crash},
+    {!repair_tail}, {!truncate_from} — void the index, and the next
+    query transparently rebuilds it with one priced sequential scan of
+    the retained log ({!txn_index_live} reports which regime the index
+    is in).  Like the decoded-record cache, the index is unmodeled
+    metadata: it has no simulated-RAM footprint. *)
+
+type txn_summary = {
+  ts_txn : Txn_id.t;
+  ts_first_lsn : Rw_storage.Lsn.t;  (** the transaction's first record *)
+  ts_last_lsn : Rw_storage.Lsn.t;
+      (** its last page operation ([Lsn.nil] if it logged none) *)
+  ts_commit_lsn : Rw_storage.Lsn.t;  (** [Lsn.nil] unless committed *)
+  ts_commit_wall_us : float;  (** meaningful only when committed *)
+  ts_ops : int;  (** page operations logged, CLRs included *)
+  ts_has_clr : bool;  (** the txn wrote compensation records *)
+  ts_structural : bool;
+      (** it logged a structural operation (format/preformat/header/FPI) *)
+  ts_writes : (Rw_storage.Page_id.t * Rw_storage.Lsn.t) list;
+      (** write set: (page, LSN of the txn's first write to it),
+          ascending by LSN *)
+}
+
+val txn_summaries : t -> txn_summary list
+(** Summaries of every committed, non-aborted transaction wholly inside
+    the retained log, ascending by commit LSN (the serialization
+    order). *)
+
+val txn_summary : t -> Txn_id.t -> txn_summary option
+(** The summary of one committed transaction, if retained. *)
+
+val txn_index_live : t -> bool
+(** [true] while summaries are served from the append-time index;
+    [false] after a tail-dropping event, until the next query's rebuild
+    scan. *)

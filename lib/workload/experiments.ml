@@ -28,6 +28,7 @@ type figure =
   | E8
   | E9
   | E10
+  | E11
   | Ablation
   | Faults
   | Explain
@@ -47,6 +48,7 @@ let all =
     E8;
     E9;
     E10;
+    E11;
     Ablation;
     Faults;
     Explain;
@@ -66,6 +68,7 @@ let name = function
   | E8 -> "e8"
   | E9 -> "e9"
   | E10 -> "e10"
+  | E11 -> "e11"
   | Ablation -> "ablation"
   | Faults -> "faults"
   | Explain -> "explain"
@@ -1373,6 +1376,345 @@ let e9_instant ~quick () =
   Printf.printf "e9 self-checks: %s\n%!" (if !failures = 0 then "PASS" else "FAIL");
   if !failures > 0 then exit 1
 
+(* --- E11: what-if — selective transaction undo vs full-database rewind --- *)
+
+module Schema = Rw_catalog.Schema
+module Dep_graph = Rw_whatif.Dep_graph
+module Selective = Rw_whatif.Selective
+
+type whatif_scenario = Wf_chain | Wf_independent | Wf_mixed
+
+let whatif_scenarios = [ Wf_chain; Wf_independent; Wf_mixed ]
+
+let whatif_scenario_name = function
+  | Wf_chain -> "chain"
+  | Wf_independent -> "independent"
+  | Wf_mixed -> "mixed"
+
+let wf_table = "cells"
+let wf_value_len = 600
+
+(* Key stride between cells.  A leaf holds at most ~13 rows of
+   [wf_value_len] bytes, so 17 consecutive keys can never share a page:
+   page-level dependencies between history transactions equal cell
+   sharing by construction. *)
+let wf_cell_gap = 17
+
+(* Blind writes: the value depends only on (seed, epoch, key), never on
+   a read — the envelope in which logged-image replay equals
+   re-execution (docs/WHATIF.md).  Fixed length keeps the page layout
+   split-free through the history phase. *)
+let wf_value ~seed ~epoch ~key =
+  let head = Printf.sprintf "s%d.e%d.k%d." seed epoch key in
+  head ^ String.make (wf_value_len - String.length head) 'x'
+
+(* Cells history transaction [i] updates.  Chained transactions share a
+   cell with their successor; private cells live past [chain_limit + 1]
+   so they collide with nothing.  Bounding the chain is what lets e11
+   grow history while the victim's dependent set stays fixed. *)
+let wf_cells_of ~scenario ~chain_limit ~i =
+  match scenario with
+  | Wf_chain -> if i < chain_limit then [ i; i + 1 ] else [ chain_limit + 2 + i ]
+  | Wf_independent -> [ chain_limit + 2 + i ]
+  | Wf_mixed ->
+      if i land 1 = 0 && i < chain_limit then [ i; i + 2 ] else [ chain_limit + 2 + i ]
+
+let wf_build ?(media = Media.ram) ~seed ~cells () =
+  let eng = Engine.create ~media () in
+  let db = Engine.create_database eng ~pool_capacity:1024 (fresh_name "whatif") in
+  Database.with_txn db (fun txn ->
+      ignore
+        (Database.create_table db txn ~table:wf_table
+           ~columns:
+             [
+               { Schema.name = "k"; ctype = Schema.Int };
+               { Schema.name = "v"; ctype = Schema.Text };
+             ]
+           ()));
+  (* Setup rows, inserted in batches: every cell key plus the filler rows
+     that keep cells on distinct leaves.  Splits (structural operations)
+     are confined to this pre-history phase. *)
+  let max_key = cells * wf_cell_gap in
+  let k = ref 0 in
+  while !k <= max_key do
+    Database.with_txn db (fun txn ->
+        let stop = min max_key (!k + 63) in
+        while !k <= stop do
+          Database.insert db txn ~table:wf_table
+            [ Row.Int (Int64.of_int !k); Row.Text (wf_value ~seed ~epoch:0 ~key:!k) ];
+          incr k
+        done)
+  done;
+  ignore (Database.checkpoint db);
+  (eng, db)
+
+let wf_apply db ~seed ~epoch cells =
+  Database.with_txn db (fun txn ->
+      List.iter
+        (fun c ->
+          let key = c * wf_cell_gap in
+          Database.update db txn ~table:wf_table
+            [ Row.Int (Int64.of_int key); Row.Text (wf_value ~seed ~epoch ~key) ])
+        cells)
+
+(* The recorded deterministic history: one update transaction per epoch.
+   With [skip] this is the replay-from-scratch oracle — the same history
+   minus the victim.  Returns the post-commit wall time of each epoch. *)
+let wf_run_history db ~seed ~scenario ~chain_limit ~history ~skip =
+  let clock = Database.clock db in
+  let walls = Array.make (max history 1) 0.0 in
+  for i = 0 to history - 1 do
+    Sim_clock_.advance_us clock 1000.0;
+    if skip <> Some i then
+      wf_apply db ~seed ~epoch:(i + 1) (wf_cells_of ~scenario ~chain_limit ~i);
+    walls.(i) <- Sim_clock_.now_us clock
+  done;
+  walls
+
+(* Summaries of just the history-phase transactions, in commit order:
+   entry [i] is history transaction [i]. *)
+let wf_history_txns log ~before =
+  let all = Log_manager.txn_summaries log in
+  Array.of_list (List.filteri (fun i _ -> i >= before) all)
+
+let wf_dump db =
+  let rows = ref [] in
+  Database.scan db ~table:wf_table ~f:(fun r -> rows := r :: !rows);
+  List.rev !rows
+
+(* Canonical page equality with the page LSN masked: the repaired and
+   oracle engines reach the same state through different log records, so
+   their page LSNs legitimately differ. *)
+let wf_mask s = String.sub s 8 (String.length s - 8)
+
+let wf_pages_equal a b =
+  let open_now db tag =
+    Database.create_as_of_snapshot ~shared:false db ~name:(fresh_name tag)
+      ~wall_us:(Sim_clock_.now_us (Database.clock db))
+  in
+  let va = open_now a "wfp_a" and vb = open_now b "wfp_b" in
+  let sa = Option.get (Database.snapshot_handle va) in
+  let sb = Option.get (Database.snapshot_handle vb) in
+  let ids =
+    As_of_snapshot.materialized_page_ids sa @ As_of_snapshot.materialized_page_ids sb
+  in
+  let ok =
+    List.for_all
+      (fun pid ->
+        String.equal
+          (wf_mask (As_of_snapshot.page_string sa pid))
+          (wf_mask (As_of_snapshot.page_string sb pid)))
+      ids
+  in
+  As_of_snapshot.drop sa;
+  As_of_snapshot.drop sb;
+  ok
+
+type whatif_row = {
+  wr_seed : int;
+  wr_scenario : whatif_scenario;
+  wr_history : int;
+  wr_closure : int;
+  wr_replayed : int;
+  wr_pages : int;
+  wr_ops_replayed : int;
+  wr_from_index : bool;
+  wr_scope_exact : bool;
+  wr_view_agrees : bool;
+  wr_repaired : bool;
+  wr_state_agrees : bool;
+  wr_pages_equal : bool;
+  wr_asof_agrees : bool;
+}
+
+let whatif_row_ok r =
+  r.wr_from_index && r.wr_scope_exact && r.wr_view_agrees && r.wr_repaired
+  && r.wr_state_agrees && r.wr_pages_equal && r.wr_asof_agrees
+
+let whatif_soak_run ?(quick = false) ~seed ~scenario () =
+  let history = if quick then 20 else 40 in
+  let chain_limit = history in
+  let cells = (2 * history) + 4 in
+  let eng, db = wf_build ~seed ~cells () in
+  let log = Database.log db in
+  let before = List.length (Log_manager.txn_summaries log) in
+  let walls = wf_run_history db ~seed ~scenario ~chain_limit ~history ~skip:None in
+  let hist = wf_history_txns log ~before in
+  let victim_i =
+    let v = (history / 3) + (seed mod 5) in
+    match scenario with Wf_mixed -> v land lnot 1 | _ -> v
+  in
+  let victim = hist.(victim_i).Log_manager.ts_txn in
+  let graph = Dep_graph.build ~log in
+  let from_index = Dep_graph.built_from_index graph in
+  (* The dependent set each scenario is constructed to produce. *)
+  let expected_replayed =
+    match scenario with
+    | Wf_independent -> 0
+    | Wf_chain -> history - 1 - victim_i
+    | Wf_mixed -> ((history - 1) / 2) - (victim_i / 2)
+  in
+  (* Oracle: replay the recorded history minus the victim from scratch. *)
+  let _oeng, odb = wf_build ~seed ~cells () in
+  let owalls = wf_run_history odb ~seed ~scenario ~chain_limit ~history ~skip:(Some victim_i) in
+  let oracle_dump = wf_dump odb in
+  (* What-if view first: a read-only preview over the unrepaired state. *)
+  let view_agrees, closure, replayed =
+    match Selective.what_if_view ~engine:eng ~db ~graph ~victim ~name:(fresh_name "wfv") () with
+    | Ok (view, st) ->
+        (wf_dump view = oracle_dump, st.Selective.closure_size, st.Selective.replayed_txns)
+    | Error _ -> (false, 0, 0)
+  in
+  (* In-place repair, then the three-way agreement with the oracle. *)
+  let repaired, pages, ops_replayed =
+    match
+      Selective.repair ~ctx:(Database.ctx db) ~log ~graph ~victim
+        ~wall_us:(Database.now_us db) ()
+    with
+    | Ok st -> (true, st.Selective.pages_rewound, st.Selective.ops_replayed)
+    | Error _ -> (false, 0, 0)
+  in
+  let state_agrees = repaired && wf_dump db = oracle_dump in
+  let pages_equal = repaired && wf_pages_equal db odb in
+  (* Point-in-time queries of the pre-repair history survive the repair:
+     an as-of just before the victim committed agrees with the oracle's
+     state at its matching point. *)
+  let asof_agrees =
+    repaired && victim_i > 0
+    &&
+    let v =
+      Database.create_as_of_snapshot ~shared:false db ~name:(fresh_name "wf_asof")
+        ~wall_us:walls.(victim_i - 1)
+    in
+    let ov =
+      Database.create_as_of_snapshot ~shared:false odb ~name:(fresh_name "wf_oasof")
+        ~wall_us:owalls.(victim_i - 1)
+    in
+    let ok = wf_dump v = wf_dump ov in
+    (match Database.snapshot_handle v with Some s -> As_of_snapshot.drop s | None -> ());
+    (match Database.snapshot_handle ov with Some s -> As_of_snapshot.drop s | None -> ());
+    ok
+  in
+  {
+    wr_seed = seed;
+    wr_scenario = scenario;
+    wr_history = history;
+    wr_closure = closure;
+    wr_replayed = replayed;
+    wr_pages = pages;
+    wr_ops_replayed = ops_replayed;
+    wr_from_index = from_index;
+    wr_scope_exact = replayed = expected_replayed;
+    wr_view_agrees = view_agrees;
+    wr_repaired = repaired;
+    wr_state_agrees = state_agrees;
+    wr_pages_equal = pages_equal;
+    wr_asof_agrees = asof_agrees;
+  }
+
+let whatif_soak_campaign ?(seeds = [ 11; 23; 47 ]) ?(quick = false) () =
+  List.concat_map
+    (fun seed ->
+      List.map (fun scenario -> whatif_soak_run ~quick ~seed ~scenario ()) whatif_scenarios)
+    seeds
+
+let print_whatif_rows rows =
+  Printf.printf "%6s %-12s %8s %8s %8s %6s %6s %6s %5s %6s %6s %6s %5s\n" "seed" "scenario"
+    "history" "closure" "replay" "pages" "index" "scope" "view" "state" "pages" "asof" "ok";
+  List.iter
+    (fun r ->
+      let b v = if v then "yes" else "NO" in
+      Printf.printf "%6d %-12s %8d %8d %8d %6d %6s %6s %5s %6s %6s %6s %5s\n" r.wr_seed
+        (whatif_scenario_name r.wr_scenario)
+        r.wr_history r.wr_closure r.wr_replayed r.wr_pages (b r.wr_from_index)
+        (b r.wr_scope_exact) (b r.wr_view_agrees)
+        (b (r.wr_repaired && r.wr_state_agrees))
+        (b r.wr_pages_equal) (b r.wr_asof_agrees)
+        (if whatif_row_ok r then "ok" else "FAIL"))
+    rows;
+  let ok = List.length (List.filter whatif_row_ok rows) in
+  Printf.printf "%d/%d what-if runs passed\n%!" ok (List.length rows)
+
+(* The headline figure: cost of removing one early transaction as the
+   history after it grows.  The victim's chain is bounded, so selective
+   replay touches a fixed dependent set; the full-database rewind
+   baseline (same engine, All_successors scope) replays everything that
+   committed after the victim and grows linearly with history.  Both
+   paths are verified byte-equal against the replay-minus-t oracle. *)
+let e11 ~quick () =
+  header "E11: what-if — selective replay vs full-database rewind";
+  let failures = ref 0 in
+  let check name ok = if not ok then (incr failures; Printf.printf "FAIL %s\n" name) in
+  let seed = 11 in
+  let chain_limit = 8 in
+  let victim_i = 2 in
+  let histories = if quick then [ 12; 24; 48 ] else [ 16; 32; 64; 128 ] in
+  Printf.printf "%8s | %8s %8s %9s %10s | %8s %8s %9s %10s | %5s\n" "history" "sel_txns"
+    "sel_pages" "sel_ops" "sel_time_s" "full_txn" "full_pgs" "full_ops" "full_time_s" "ok";
+  let results =
+    List.map
+      (fun history ->
+        let cells = chain_limit + history + 4 in
+        let run scope =
+          let eng, db = wf_build ~media:Media.ssd ~seed ~cells () in
+          let log = Database.log db in
+          let before = List.length (Log_manager.txn_summaries log) in
+          ignore (wf_run_history db ~seed ~scenario:Wf_chain ~chain_limit ~history ~skip:None);
+          let hist = wf_history_txns log ~before in
+          let victim = hist.(victim_i).Log_manager.ts_txn in
+          let graph = Dep_graph.build ~log in
+          let res, rtime =
+            time_of eng (fun () ->
+                Selective.repair ~ctx:(Database.ctx db) ~log ~graph ~victim ~scope
+                  ~wall_us:(Database.now_us db) ())
+          in
+          match res with
+          | Ok st -> (db, st, rtime)
+          | Error cs ->
+              List.iter
+                (fun (c : Selective.conflict) -> Printf.printf "conflict: %s\n" c.reason)
+                cs;
+              check "repair refused" false;
+              (db, { Selective.closure_size = 0; replayed_txns = 0; pages_rewound = 0;
+                     ops_unwound = 0; ops_replayed = 0 }, rtime)
+        in
+        let _oeng, odb = wf_build ~media:Media.ssd ~seed ~cells () in
+        ignore
+          (wf_run_history odb ~seed ~scenario:Wf_chain ~chain_limit ~history
+             ~skip:(Some victim_i));
+        let oracle = wf_dump odb in
+        let sdb, sstat, stime = run Selective.Dependents in
+        let fdb, fstat, ftime = run Selective.All_successors in
+        let sel_ok = wf_dump sdb = oracle && wf_pages_equal sdb odb in
+        let full_ok = wf_dump fdb = oracle && wf_pages_equal fdb odb in
+        check (Printf.sprintf "history %d: selective equals oracle" history) sel_ok;
+        check (Printf.sprintf "history %d: full rewind equals oracle" history) full_ok;
+        Printf.printf "%8d | %8d %8d %9d %10.4f | %8d %8d %9d %10.4f | %5s\n%!" history
+          sstat.Selective.replayed_txns sstat.Selective.pages_rewound
+          (sstat.Selective.ops_unwound + sstat.Selective.ops_replayed)
+          (seconds stime) fstat.Selective.replayed_txns fstat.Selective.pages_rewound
+          (fstat.Selective.ops_unwound + fstat.Selective.ops_replayed)
+          (seconds ftime)
+          (if sel_ok && full_ok then "ok" else "FAIL");
+        (history, sstat, fstat))
+      histories
+  in
+  let h0, s0, f0 = List.hd results in
+  let hn, sn, fn = List.nth results (List.length results - 1) in
+  let work (st : Selective.stats) = st.ops_unwound + st.ops_replayed in
+  Printf.printf
+    "\nhistory %d -> %d: selective work %d -> %d ops (dependent set fixed at %d txns);\n\
+     full rewind work %d -> %d ops (closure %d -> %d txns)\n"
+    h0 hn (work s0) (work sn) sn.Selective.replayed_txns (work f0) (work fn)
+    f0.Selective.closure_size fn.Selective.closure_size;
+  check "selective dependent set is fixed" (sn.Selective.replayed_txns = s0.Selective.replayed_txns);
+  check "selective work does not grow with history" (work sn = work s0);
+  check "full-rewind closure grows with history"
+    (fn.Selective.closure_size - f0.Selective.closure_size = hn - h0);
+  check "full-rewind work grows at least linearly" (work fn - work f0 >= hn - h0);
+  Printf.printf "e11 self-checks: %s\n%!" (if !failures = 0 then "PASS" else "FAIL");
+  if !failures > 0 then exit 1
+
 let run ?(quick = false) = function
   | Fig5 -> fig56 ~quick ~show:`Space ()
   | Fig6 -> fig56 ~quick ~show:`Throughput ()
@@ -1386,6 +1728,7 @@ let run ?(quick = false) = function
   | E8 -> e8 ~quick ()
   | E9 -> e9_instant ~quick ()
   | E10 -> e10 ~quick ()
+  | E11 -> e11 ~quick ()
   | Ablation ->
       ablation ~quick ();
       ablation_cow ~quick ()

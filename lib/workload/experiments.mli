@@ -39,6 +39,15 @@ type figure =
           mid-catch-up, sustained lag, network partition, failover+rejoin —
           each converging byte-equal (canonical page form) to a fault-free
           single-node oracle; exits non-zero on divergence *)
+  | E11
+      (** what-if queries: selectively remove one committed transaction
+          and replay only its dependency closure ([Rw_whatif]); as
+          history grows, selective replay cost stays pinned to the fixed
+          dependent set while the full-database-rewind baseline
+          ([All_successors]) grows linearly — both verified byte-equal
+          (canonical masked pages + logical rows) against an oracle
+          built by replaying the recorded history minus the victim from
+          scratch; exits non-zero on any inequality *)
   | Ablation
       (** design-choice ablations: FPI frequency, log cache size, page- vs
           transaction-oriented undo, and proactive copy-on-write snapshots
@@ -170,3 +179,51 @@ val repl_soak_campaign : ?seeds:int list -> ?quick:bool -> unit -> repl_row list
 (** {!repl_soak_run} for every scenario at each seed (default 3 seeds). *)
 
 val print_repl_rows : repl_row list -> unit
+
+(** {2 What-if selective-undo campaign}
+
+    The property harness behind {!figure.E11}, exposed so tests and the
+    CLI [whatifsoak] command can assert on the rows.  The workload is a
+    deterministic single-table history of blind fixed-size updates whose
+    page-level dependency structure is chosen by construction (cells are
+    spaced so distinct cells never share a B-tree leaf), which makes the
+    replay-from-scratch oracle valid at page granularity. *)
+
+type whatif_scenario =
+  | Wf_chain  (** every transaction shares a cell with its successor *)
+  | Wf_independent  (** every transaction writes a private cell *)
+  | Wf_mixed  (** even transactions chain; odd ones are independent *)
+
+val whatif_scenarios : whatif_scenario list
+val whatif_scenario_name : whatif_scenario -> string
+
+type whatif_row = {
+  wr_seed : int;
+  wr_scenario : whatif_scenario;
+  wr_history : int;  (** history transactions committed *)
+  wr_closure : int;  (** |D|: victim + dependents *)
+  wr_replayed : int;
+  wr_pages : int;  (** pages rewound by the repair *)
+  wr_ops_replayed : int;
+  wr_from_index : bool;  (** graph built from the append-time index *)
+  wr_scope_exact : bool;  (** dependent set matches the constructed one *)
+  wr_view_agrees : bool;  (** what-if view rows equal the oracle's *)
+  wr_repaired : bool;
+  wr_state_agrees : bool;  (** repaired rows equal the oracle's *)
+  wr_pages_equal : bool;  (** canonical masked page bytes equal *)
+  wr_asof_agrees : bool;  (** pre-victim as-of survives the repair *)
+}
+
+val whatif_row_ok : whatif_row -> bool
+
+val whatif_soak_run :
+  ?quick:bool -> seed:int -> scenario:whatif_scenario -> unit -> whatif_row
+(** One scenario: run the deterministic history, pick a mid-history
+    victim, publish a what-if view, repair in place, and verify view,
+    repaired state (rows + canonical masked pages) and a pre-victim
+    as-of query against the replay-minus-victim oracle. *)
+
+val whatif_soak_campaign : ?seeds:int list -> ?quick:bool -> unit -> whatif_row list
+(** {!whatif_soak_run} for every scenario at each seed (default 3 seeds). *)
+
+val print_whatif_rows : whatif_row list -> unit

@@ -444,6 +444,115 @@ let test_doc_sync () =
   check ("doc stale: " ^ pp_list stale) true (stale = []);
   check "doc table non-empty" true (List.length doc > 0)
 
+(* --- docs/CLI.md lists every shell meta-command --- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let find_existing candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.fail ("none of the candidate paths exist: " ^ String.concat ", " candidates)
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+(* Meta-commands in the source are OCaml string literals like "\\help":
+   in raw bytes, two backslashes followed by letters.  The scan requires
+   a letter right after the pair, which skips '\\' char literals and
+   "\\|" doc escapes. *)
+let source_meta_commands src =
+  let names = ref [] in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n - 2 do
+    if src.[!i] = '\\' && src.[!i + 1] = '\\' && is_letter src.[!i + 2] then begin
+      let j = ref (!i + 2) in
+      while !j < n && is_letter src.[!j] do
+        incr j
+      done;
+      names := String.sub src (!i + 2) (!j - !i - 2) :: !names;
+      i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !names
+
+(* The doc names meta-commands in backticks: `\help`, `\trace on\|...`.
+   One backslash in the markdown bytes, letters up to the next
+   non-letter. *)
+let doc_meta_commands doc =
+  let names = ref [] in
+  let n = String.length doc in
+  let i = ref 0 in
+  while !i < n - 2 do
+    if doc.[!i] = '`' && doc.[!i + 1] = '\\' && is_letter doc.[!i + 2] then begin
+      let j = ref (!i + 2) in
+      while !j < n && is_letter doc.[!j] do
+        incr j
+      done;
+      names := String.sub doc (!i + 2) (!j - !i - 2) :: !names;
+      i := !j
+    end
+    else incr i
+  done;
+  List.sort_uniq compare !names
+
+let test_cli_doc_sync () =
+  let src =
+    read_file
+      (find_existing
+         [ "../bin/rewind_cli.ml"; "../../../bin/rewind_cli.ml"; "bin/rewind_cli.ml" ])
+  in
+  let doc =
+    read_file (find_existing [ "../docs/CLI.md"; "../../../docs/CLI.md"; "docs/CLI.md" ])
+  in
+  let in_source = source_meta_commands src in
+  let in_doc = doc_meta_commands doc in
+  let pp_list l = String.concat ", " (List.map (fun n -> "\\" ^ n) l) in
+  let missing = List.filter (fun n -> not (List.mem n in_doc)) in_source in
+  let stale = List.filter (fun n -> not (List.mem n in_source)) in_doc in
+  check ("docs/CLI.md missing meta-commands: " ^ pp_list missing) true (missing = []);
+  check ("docs/CLI.md stale meta-commands: " ^ pp_list stale) true (stale = []);
+  check "meta-command tables non-empty" true (List.length in_source > 5);
+  (* Subcommands too: every `Cmd.info "name"` must appear backticked. *)
+  let subcommands =
+    let names = ref [] in
+    let marker = "Cmd.info \"" in
+    let m = String.length marker in
+    let n = String.length src in
+    for i = 0 to n - m - 1 do
+      if String.sub src i m = marker then begin
+        let j = ref (i + m) in
+        while !j < n && src.[!j] <> '"' do
+          incr j
+        done;
+        let name = String.sub src (i + m) (!j - i - m) in
+        if name <> "rewind_cli" then names := name :: !names
+      end
+    done;
+    List.sort_uniq compare !names
+  in
+  let undocumented =
+    List.filter
+      (fun name ->
+        let needle = "`" ^ name in
+        let nl = String.length needle in
+        let found = ref false in
+        for i = 0 to String.length doc - nl do
+          if String.sub doc i nl = needle then found := true
+        done;
+        not !found)
+      subcommands
+  in
+  check
+    ("docs/CLI.md missing subcommands: " ^ String.concat ", " undocumented)
+    true (undocumented = []);
+  check "subcommand list non-empty" true (List.length subcommands >= 5)
+
 let () =
   Alcotest.run "obs"
     [
@@ -459,5 +568,9 @@ let () =
         ] );
       ( "explain",
         [ Alcotest.test_case "reconciles with io_stats" `Quick test_explain_reconciles ] );
-      ("docs", [ Alcotest.test_case "metric table in sync" `Quick test_doc_sync ]);
+      ( "docs",
+        [
+          Alcotest.test_case "metric table in sync" `Quick test_doc_sync;
+          Alcotest.test_case "cli meta-commands in sync" `Quick test_cli_doc_sync;
+        ] );
     ]

@@ -60,6 +60,8 @@ base_commit=$(bench_value "core-primitives/group commit (8 txns/flush)" || true)
 base_shared=$(bench_value "core-primitives/prepare_page_as_of (shared-cache hit)" || true)
 base_analysis=$(bench_value "core-primitives/recovery-analysis-only" || true)
 base_catchup=$(bench_value "core-primitives/replica-catchup-apply (parallel redo)" || true)
+base_depgraph=$(bench_value "core-primitives/dep-graph-build (64-txn history)" || true)
+base_selective=$(bench_value "core-primitives/selective-replay-vs-full-rewind: selective" || true)
 
 dune exec bench/main.exe -- all --quick --json >/dev/null
 test -s BENCH_micro.json
@@ -97,6 +99,11 @@ check_regression "core-primitives/recovery-analysis-only" "$base_analysis"
 # Replica catch-up is bounded by partition-parallel redo of shipped
 # segments: guard the apply rate so replication lag cannot silently grow.
 check_regression "core-primitives/replica-catchup-apply (parallel redo)" "$base_catchup"
+# What-if selective undo: the graph build must stay on the O(index) path
+# and the selective target computation must stay pinned to the dependent
+# set (the full-rewind row is its context, not a guard).
+check_regression "core-primitives/dep-graph-build (64-txn history)" "$base_depgraph"
+check_regression "core-primitives/selective-replay-vs-full-rewind: selective" "$base_selective"
 
 echo "== fault-injection soak (fixed seeds, random crash points) =="
 # TPC-C under torn writes / bit rot / transient errors / torn log tails,
@@ -109,5 +116,13 @@ echo "== replication soak (fixed seeds) =="
 # primary failover + rejoin, each converging byte-equal (canonical page
 # form) to a fault-free single-node oracle.  Exits non-zero on divergence.
 dune exec bin/rewind_cli.exe -- replsoak --seeds 11,23,47 --quick
+
+echo "== what-if selective-undo soak (fixed seeds) =="
+# Dependent-chain, fully-independent and mixed histories: a mid-history
+# victim is removed as a what-if view and as an in-place repair, both
+# verified byte-equal (canonical masked pages + logical rows + pre-victim
+# as-of) against a replay-minus-victim oracle.  Exits non-zero on any
+# inequality.
+dune exec bin/rewind_cli.exe -- whatifsoak --seeds 11,23,47 --quick
 
 echo "== ci ok =="
