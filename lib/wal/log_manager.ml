@@ -89,6 +89,7 @@ type txn_acc = {
   mutable a_clr : bool;
   mutable a_structural : bool;
   mutable a_writes_rev : (Page_id.t * Lsn.t) list; (* newest-first, first-write lsn per page *)
+  a_pages : (int, unit) Hashtbl.t; (* pages already in a_writes_rev: O(1) membership *)
 }
 
 type t = {
@@ -524,6 +525,7 @@ let note_record t lsn pk ~wall =
               a_clr = false;
               a_structural = false;
               a_writes_rev = [];
+              a_pages = Hashtbl.create 8;
             }
           in
           Hashtbl.replace t.txn_index key a;
@@ -542,8 +544,11 @@ let note_record t lsn pk ~wall =
         | _ -> ());
         if structural_op_kind k then acc.a_structural <- true;
         let page = pk.Log_record.p_page in
-        if not (List.exists (fun (p, _) -> Page_id.equal p page) acc.a_writes_rev) then
+        let pkey = Page_id.to_int page in
+        if not (Hashtbl.mem acc.a_pages pkey) then begin
+          Hashtbl.replace acc.a_pages pkey ();
           acc.a_writes_rev <- (page, lsn) :: acc.a_writes_rev
+        end
     | Log_record.K_begin | Log_record.K_end | Log_record.K_checkpoint -> ()
   end
 
@@ -1410,14 +1415,34 @@ let txn_index_live t = t.txn_index_valid
 
 let rebuild_txn_index t =
   Hashtbl.reset t.txn_index;
-  t.txn_index_valid <- true;
-  iter_range_peek t ~from:t.truncated_below ~upto:t.end_lsn (fun lsn pk decode ->
-      note_record t lsn pk
-        ~wall:
-          (lazy
-            (match (decode ()).Log_record.body with
-            | Log_record.Commit { wall_us } -> wall_us
-            | _ -> 0.0)))
+  t.txn_index_valid <- false;
+  (* A transaction whose first retained record carries a non-nil backward
+     pointer continues below the retention boundary: its truncated prefix
+     would leave the rebuilt summary's write set understated, so such
+     accumulators are dropped after the scan — the same rule
+     [truncate_before] applies incrementally (a_first < boundary). *)
+  let straddlers = Hashtbl.create 8 in
+  (try
+     iter_range_peek t ~from:t.truncated_below ~upto:t.end_lsn (fun lsn pk decode ->
+         let txn = pk.Log_record.p_txn in
+         if
+           (not (Txn_id.is_nil txn))
+           && (not (Hashtbl.mem t.txn_index (Txn_id.to_int txn)))
+           && not (Lsn.is_nil pk.Log_record.p_prev_txn_lsn)
+         then Hashtbl.replace straddlers (Txn_id.to_int txn) ();
+         note_record t lsn pk
+           ~wall:
+             (lazy
+               (match (decode ()).Log_record.body with
+               | Log_record.Commit { wall_us } -> wall_us
+               | _ -> 0.0)))
+   with e ->
+     (* A failed scan must not leave a half-populated index serving
+        queries: stay void, the next query retries the rebuild. *)
+     Hashtbl.reset t.txn_index;
+     raise e);
+  Hashtbl.iter (fun key () -> Hashtbl.remove t.txn_index key) straddlers;
+  t.txn_index_valid <- true
 
 let txn_summaries t =
   if not t.txn_index_valid then rebuild_txn_index t;
@@ -1439,6 +1464,18 @@ let txn_summaries t =
       else acc)
     t.txn_index []
   |> List.sort (fun x y -> Lsn.compare x.ts_commit_lsn y.ts_commit_lsn)
+
+let txn_resolution t txn =
+  if Txn_id.is_nil txn then `Unknown
+  else begin
+    if not t.txn_index_valid then rebuild_txn_index t;
+    match Hashtbl.find_opt t.txn_index (Txn_id.to_int txn) with
+    | None -> `Unknown
+    | Some a ->
+        if a.a_aborted then `Aborted
+        else if not (Lsn.is_nil a.a_commit) then `Committed
+        else `Active
+  end
 
 let txn_summary t txn =
   if not t.txn_index_valid then rebuild_txn_index t;

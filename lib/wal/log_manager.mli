@@ -340,7 +340,10 @@ val truncate_from : t -> Rw_storage.Lsn.t -> int
     {!repair_tail}, {!truncate_from} — void the index, and the next
     query transparently rebuilds it with one priced sequential scan of
     the retained log ({!txn_index_live} reports which regime the index
-    is in).  Like the decoded-record cache, the index is unmodeled
+    is in).  The rebuild applies the same boundary rule: a transaction
+    whose first retained record points further back (its chain crosses
+    the retention boundary) is excluded rather than resurfaced with an
+    understated write set.  Like the decoded-record cache, the index is unmodeled
     metadata: it has no simulated-RAM footprint. *)
 
 type txn_summary = {
@@ -366,6 +369,15 @@ val txn_summaries : t -> txn_summary list
 
 val txn_summary : t -> Txn_id.t -> txn_summary option
 (** The summary of one committed transaction, if retained. *)
+
+val txn_resolution : t -> Txn_id.t -> [ `Committed | `Aborted | `Active | `Unknown ]
+(** How the transaction's retained records resolve: committed, aborted,
+    or [`Active] — it has log records but neither a commit nor an abort
+    record, i.e. it is still in flight in some session.  [`Unknown] for
+    a transaction with no retained summary: never logged, or pruned
+    because its history crosses the retention boundary.  Selective undo
+    validation consults this to refuse rewinds that would silently erase
+    an open transaction's writes. *)
 
 val txn_index_live : t -> bool
 (** [true] while summaries are served from the append-time index;

@@ -15,7 +15,13 @@
    effects are entirely above the cut (net-nil there); a committed
    outsider writing above the cut is folded into D and the plan is
    recomputed — with serial histories this never fires, it is the
-   backstop for interleaved multi-session logs.  Rewinding each affected
+   backstop for interleaved multi-session logs.  A record owned by an
+   in-flight transaction (open in some session, neither committed nor
+   aborted — {!Log_manager.txn_resolution}) is a hard conflict: the
+   rewind would erase writes that nothing ever replays, and that
+   session's later commit or abort would then act on pages missing its
+   rows.  Likewise any owner whose chain crosses the retention
+   boundary.  Rewinding each affected
    page to its cut therefore removes exactly D's effects plus net-nil
    noise, and replaying D minus the victim in global LSN order restores
    everything but the victim.
@@ -116,7 +122,11 @@ let straddles_cut ~log ~page ~cut ~from_lsn =
 
 (* Check every above-cut chain record on every affected page: members of
    D are expected; a committed outsider is returned for widening; an
-   aborted transaction must not straddle the cut. *)
+   aborted transaction must not straddle the cut; an in-flight (open,
+   uncommitted) transaction — possibly another session's — is refused
+   outright, because the page rewind would erase its writes and nothing
+   ever replays them.  So is any transaction whose history crosses the
+   retention boundary: it can neither be replayed nor proven net-nil. *)
 let validate ~log ~graph ~removed ~cuts =
   let is_removed = in_set removed in
   let widen = ref [] in
@@ -130,17 +140,31 @@ let validate ~log ~graph ~removed ~cuts =
         (fun lsn ->
           let pk = Log_manager.peek_record log lsn in
           let txn = pk.Log_record.p_txn in
-          if is_removed txn then ()
+          if Txn_id.is_nil txn || is_removed txn then ()
           else
             match Dep_graph.find graph txn with
             | Some node ->
                 if not (List.exists (fun (n : Dep_graph.node) -> Txn_id.equal n.txn txn) !widen)
                 then widen := node :: !widen
-            | None ->
-                if straddles_cut ~log ~page ~cut ~from_lsn:lsn then
-                  conflicts :=
-                    { page; lsn; reason = "aborted transaction straddles the rewind cut" }
-                    :: !conflicts)
+            | None -> (
+                let conflict reason = conflicts := { page; lsn; reason } :: !conflicts in
+                match Log_manager.txn_resolution log txn with
+                | `Active ->
+                    conflict "an in-flight transaction writes above the rewind cut"
+                | `Committed ->
+                    conflict
+                      "a transaction committed after the dependency graph was built; retry"
+                | `Unknown ->
+                    conflict
+                      "a transaction straddling the log retention boundary writes above the \
+                       rewind cut"
+                | `Aborted -> (
+                    match straddles_cut ~log ~page ~cut ~from_lsn:lsn with
+                    | true -> conflict "aborted transaction straddles the rewind cut"
+                    | false -> ()
+                    | exception Log_manager.Log_truncated _ ->
+                        conflict
+                          "aborted transaction's history crosses the log retention boundary")))
         lsns)
     cuts;
   (!widen, List.rev !conflicts)
@@ -295,11 +319,25 @@ let compute_targets ~ctx ~log (plan : plan) =
           conflicts := { page; lsn; reason = "page chain is broken" } :: !conflicts);
       Hashtbl.replace copies (Page_id.to_int64 page) p)
     plan.cuts;
-  (* Gather the replay set's operations in global LSN order. *)
+  (* Gather the replay set's operations in global LSN order.  A replay
+     chain reaching below the retention boundary cannot be re-applied;
+     surface it as the same typed conflict a truncated rewind gets. *)
   let ops =
-    plan.replay
-    |> List.concat_map (fun n -> ops_of_txn ~log n)
-    |> List.sort (fun (a, _, _) (b, _, _) -> Lsn.compare a b)
+    if !conflicts <> [] then []
+    else
+      try
+        plan.replay
+        |> List.concat_map (fun n -> ops_of_txn ~log n)
+        |> List.sort (fun (a, _, _) (b, _, _) -> Lsn.compare a b)
+      with Log_manager.Log_truncated l ->
+        conflicts :=
+          {
+            page = no_page;
+            lsn = l;
+            reason = "replay set's history crosses the log retention window";
+          }
+          :: !conflicts;
+        []
   in
   let ops_replayed = ref 0 in
   if !conflicts = [] then

@@ -678,6 +678,53 @@ let test_prefetch_sequentialises () =
   (* Unknown LSNs are ignored, not errors. *)
   Log_manager.prefetch log [ Lsn.of_int 99999999 ]
 
+(* --- txn write-set summaries: rebuild vs the retention boundary --- *)
+
+(* A tail-drop event voids the txn index; the rebuild scan must apply the
+   same boundary rule as incremental truncation and exclude a committed
+   transaction whose chain crosses [truncated_below], instead of
+   resurfacing it with an understated write set.  [txn_resolution] must
+   likewise distinguish in-flight from resolved transactions. *)
+let test_txn_index_rebuild_boundary () =
+  let _, log = mk_log () in
+  let t1 = Txn_id.of_int 1 and t2 = Txn_id.of_int 2 and t3 = Txn_id.of_int 3 in
+  let app r = Log_manager.append log r in
+  let ins = Log_record.Insert_row { slot = 0; row = "x" } in
+  let pop ~txn ~prev_txn pid =
+    app (Log_record.make ~txn ~prev_txn_lsn:prev_txn
+           (Log_record.Page_op { page = Page_id.of_int pid; prev_page_lsn = Lsn.nil; op = ins }))
+  in
+  (* T1 writes pages 3 and 4, commits; T2 writes page 5, commits; T3 is
+     left open (no commit, no abort). *)
+  let b1 = app (Log_record.make ~txn:t1 Log_record.Begin) in
+  let o1a = pop ~txn:t1 ~prev_txn:b1 3 in
+  let o1b = pop ~txn:t1 ~prev_txn:o1a 4 in
+  ignore (app (Log_record.make ~txn:t1 ~prev_txn_lsn:o1b (Log_record.Commit { wall_us = 1.0 })));
+  let b2 = app (Log_record.make ~txn:t2 Log_record.Begin) in
+  let o2 = pop ~txn:t2 ~prev_txn:b2 5 in
+  ignore (app (Log_record.make ~txn:t2 ~prev_txn_lsn:o2 (Log_record.Commit { wall_us = 2.0 })));
+  let b3 = app (Log_record.make ~txn:t3 Log_record.Begin) in
+  ignore (pop ~txn:t3 ~prev_txn:b3 6);
+  Log_manager.flush_all log;
+  check "t3 is in flight" true (Log_manager.txn_resolution log t3 = `Active);
+  (* Crash (nothing unflushed, so no records drop) voids the index;
+     then retention cuts T1's chain in half. *)
+  Log_manager.crash log;
+  check "index voided by the crash" true (not (Log_manager.txn_index_live log));
+  Log_manager.truncate_before log o1b;
+  let summaries = Log_manager.txn_summaries log in
+  check "rebuild ran" true (Log_manager.txn_index_live log);
+  check "straddling T1 is excluded from the rebuilt index" true
+    (not (List.exists (fun s -> Txn_id.equal s.Log_manager.ts_txn t1) summaries));
+  check "T1 resolves as unknown, not as committed-with-partial-writes" true
+    (Log_manager.txn_resolution log t1 = `Unknown);
+  (match List.find_opt (fun s -> Txn_id.equal s.Log_manager.ts_txn t2) summaries with
+  | Some s -> check_int "fully retained T2 keeps its whole write set" 1
+      (List.length s.Log_manager.ts_writes)
+  | None -> Alcotest.fail "T2 missing from the rebuilt index");
+  check "open T3 still resolves as in flight after the rebuild" true
+    (Log_manager.txn_resolution log t3 = `Active)
+
 let () =
   Alcotest.run "wal"
     [
@@ -720,5 +767,7 @@ let () =
           Alcotest.test_case "record cache counters" `Quick test_record_cache_counters;
           Alcotest.test_case "scans use cached decodes" `Quick test_scan_uses_cached_decodes;
           Alcotest.test_case "prefetch sequentialises" `Quick test_prefetch_sequentialises;
+          Alcotest.test_case "txn index rebuild honours the retention boundary" `Quick
+            test_txn_index_rebuild_boundary;
         ] );
     ]

@@ -232,6 +232,46 @@ let test_sql_rewind () =
     | exception Executor.Sql_error _ -> true
     | _ -> false)
 
+(* --- another session's open transaction blocks the rewind --- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_inflight_conflict () =
+  let eng, db = build_history () in
+  let s1 = Executor.create_session eng in
+  let s2 = Executor.create_session eng in
+  ignore (run_ok s1 "USE wf");
+  ignore (run_ok s2 "USE wf");
+  let graph = Dep_graph.build ~log:(Database.log db) in
+  let victim = Txn_id.to_int (history_node graph ~ordinal:1).Dep_graph.txn in
+  (* Session 2 opens a transaction and writes key 0's leaf — a page the
+     rewind of T1 would unwind — without committing.  The rewind must
+     refuse: rewinding would erase the open transaction's row, and
+     nothing would ever replay it. *)
+  ignore (run_ok s2 "BEGIN");
+  check_int "held update applied" 1
+    (match run_ok s2 "UPDATE t SET v = 'held' WHERE k = 0" with
+    | Executor.Affected n -> n
+    | _ -> -1);
+  let live = dump db in
+  (match Executor.run s1 (Printf.sprintf "REWIND TRANSACTION %d" victim) with
+  | exception Executor.Sql_error m ->
+      check "conflict names the in-flight transaction" true (contains m "in-flight")
+  | _ -> Alcotest.fail "expected an in-flight conflict");
+  check "refused rewind changed nothing" true (dump db = live);
+  (* Once that transaction commits it is an ordinary committed outsider:
+     the planner folds it into the removed set and the rewind goes
+     through. *)
+  ignore (run_ok s2 "COMMIT");
+  (match run_ok s1 (Printf.sprintf "REWIND TRANSACTION %d" victim) with
+  | Executor.Message _ -> ()
+  | _ -> Alcotest.fail "expected a message");
+  check "committed late-comer's write survives the rewind" true
+    (Database.get db ~table:"t" ~key:0L = Some [ Row.Int 0L; Row.Text "held" ])
+
 let () =
   Alcotest.run "whatif"
     [
@@ -241,6 +281,7 @@ let () =
           Alcotest.test_case "repair vs oracle" `Quick test_repair_vs_oracle;
           Alcotest.test_case "crash mid-replay atomic" `Quick test_crash_mid_replay;
           Alcotest.test_case "conflicts refuse cleanly" `Quick test_structural_refused;
+          Alcotest.test_case "in-flight transaction blocks rewind" `Quick test_inflight_conflict;
         ] );
       ("campaign", [ Alcotest.test_case "three seeds, three scenarios" `Slow test_soak_campaign ]);
       ("sql", [ Alcotest.test_case "rewind transaction" `Quick test_sql_rewind ]);
