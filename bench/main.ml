@@ -594,6 +594,96 @@ module Micro = struct
         test_checkpoint_flush;
       ]
 
+  (* Batched as-of preparation at the cold-chain operating point: data and
+     side files on RAM (so publish writes are free), log on SSD behind a
+     deliberately starved block cache (two 256 B blocks) with 4 KiB
+     spilled segments — every page's chain gather re-faults cold blocks at
+     real random-read cost, the regime the staged pipeline overlaps.
+     These rows report MODELED (simulated-clock) elapsed, not host time:
+     the pipeline attributes each page's gather I/O to its round-robin
+     partition and credits the clock down to the slowest partition, so the
+     parallel row's win is the overlap model, byte-identical results
+     guaranteed by the publish-stage determinism contract (test_pool.ml).
+     ci.sh holds prepare_batch_as_of-parallel-4 to a 25% budget and
+     requires it to beat prepare_batch_as_of-serial by >= 2x. *)
+  let batch_env =
+    lazy
+      (let module Database = Rw_engine.Database in
+       let module Row = Rw_engine.Row in
+       let module Schema = Rw_catalog.Schema in
+       let clock = Sim_clock.create () in
+       let db =
+         Database.create ~name:"bench_batch" ~clock ~media:Media.ram ~log_media:Media.ssd
+           ~pool_capacity:256 ~log_cache_blocks:2 ~log_block_bytes:256 ~log_segment_bytes:4096
+           ~checkpoint_interval_us:1e15 ()
+       in
+       let cols =
+         [
+           { Schema.name = "id"; ctype = Schema.Int }; { Schema.name = "val"; ctype = Schema.Text };
+         ]
+       in
+       let payload r i = Printf.sprintf "%04d-%06d-%s" r i (String.make 110 'x') in
+       Database.with_txn db (fun txn ->
+           ignore (Database.create_table db txn ~table:"t" ~columns:cols ());
+           for i = 1 to 1600 do
+             Database.insert db txn ~table:"t" [ Row.Int (Int64.of_int i); Row.Text (payload 0 i) ]
+           done);
+       ignore (Database.checkpoint db);
+       (* The rewind target: just after load, so every data page unwinds
+          the full update history below. *)
+       let t_mid = Sim_clock.now_us clock in
+       for r = 1 to 4 do
+         Database.with_txn db (fun txn ->
+             for j = 0 to 1599 do
+               let i = (j * 37 mod 1600) + 1 in
+               Database.update db txn ~table:"t" [ Row.Int (Int64.of_int i); Row.Text (payload r i) ]
+             done)
+       done;
+       Log_manager.flush_all (Database.log db);
+       let disk = Database.disk db in
+       let pages = ref [] in
+       for i = Disk.page_count disk - 1 downto 0 do
+         let pid = Page_id.of_int i in
+         if Disk.has_page disk pid then pages := pid :: !pages
+       done;
+       (db, t_mid, !pages))
+
+  (* Modeled elapsed (sim-clock us) of one whole-database batched rewind at
+     the given fan-out, on a fresh unshared snapshot so chain gathers stay
+     cold and runs are independent. *)
+  let measure_batch ~fanout =
+    let module Database = Rw_engine.Database in
+    let module Snap = Rw_core.As_of_snapshot in
+    let db, t_mid, pages = Lazy.force batch_env in
+    Fun.protect
+      ~finally:(fun () -> Rw_pool.Domain_pool.set_fanout None)
+      (fun () ->
+        Rw_pool.Domain_pool.set_fanout (Some fanout);
+        let clock = Database.clock db in
+        let view =
+          Database.create_as_of_snapshot ~shared:false db
+            ~name:(Printf.sprintf "bench_batch_f%d" fanout)
+            ~wall_us:t_mid
+        in
+        let snap = Option.get (Database.snapshot_handle view) in
+        let t0 = Sim_clock.now_us clock in
+        let n = Snap.materialize_batch snap pages in
+        let dt = Sim_clock.now_us clock -. t0 in
+        Snap.drop snap;
+        (dt, n))
+
+  let modeled_batch_rows () =
+    let serial_us, pages = measure_batch ~fanout:1 in
+    let parallel_us, _ = measure_batch ~fanout:4 in
+    [
+      ("prepare_batch_as_of-serial", serial_us *. 1_000.0);
+      ("prepare_batch_as_of-parallel-4", parallel_us *. 1_000.0);
+      (* Per-page modeled cost of the parallel batch on the cold-segment
+         operating point — compare against the serial per-page
+         "prepare_page_as_of (cold segment)" row above. *)
+      ("cold-segment-parallel", parallel_us *. 1_000.0 /. float_of_int (max 1 pages));
+    ]
+
   let json_escape s =
     let b = Buffer.create (String.length s + 8) in
     String.iter
@@ -633,6 +723,9 @@ module Micro = struct
         results []
       |> List.sort compare
     in
+    (* Modeled sim-clock rows for the staged batch pipeline ride along in
+       the same table and JSON (units are still ns/run). *)
+    let rows = rows @ modeled_batch_rows () in
     Printf.printf "%-55s %15s\n" "benchmark" "time/run";
     List.iter
       (fun (name, ns) ->
@@ -669,7 +762,7 @@ let () =
               | Some fig -> Experiments.run ~quick fig
               | None ->
                   Printf.eprintf
-                    "unknown experiment %S (expected: fig5..fig11, sec6_3, sec6_4, e8..e11, \
+                    "unknown experiment %S (expected: fig5..fig11, sec6_3, sec6_4, e8..e12, \
                      ablation, faults, explain, segments, micro, all)\n"
                     arg;
                   exit 2))

@@ -269,6 +269,20 @@ let meta_command session eng line =
           | None ->
               Printf.printf "current database vanished\n%!";
               `Continue))
+  | [ "\\pool" ] ->
+      (* The shared domain pool behind partition-parallel redo, batched
+         snapshot rewinds and the scrub sweep. *)
+      let cap = Rw_pool.Domain_pool.fanout_cap () in
+      Printf.printf "fanout cap      : %d%s\n" cap
+        (if cap = Domain.recommended_domain_count () then " (default clamp)" else " (override)");
+      Printf.printf "workers parked  : %d\n" (Rw_pool.Domain_pool.spawned_workers ());
+      Printf.printf "pool.tasks      : %d participant slot(s) executed\n"
+        (Metrics.counter_value Rw_obs.Probes.pool_tasks);
+      Printf.printf "pool.wakes      : %d worker wake(s)\n"
+        (Metrics.counter_value Rw_obs.Probes.pool_wakes);
+      Printf.printf "parallel rewinds: %d page(s) through the staged batch pipeline\n%!"
+        (Metrics.counter_value Rw_obs.Probes.snapshot_parallel_pages);
+      `Continue
   | [ "\\advance"; n ] -> (
       match float_of_string_opt n with
       | Some sec when sec >= 0.0 ->
@@ -410,6 +424,7 @@ let meta_command session eng line =
         \  \\sessions          writer/reader sessions and the prepared-page cache\n\
         \  \\faults            fault-injection counters and quarantined pages\n\
         \  \\recovery          restart mode, backlog, and recovery timings\n\
+        \  \\pool              shared domain pool: fan-out cap, workers, wake counters\n\
         \  \\metrics [json]    engine metrics registry snapshot\n\
         \  \\trace on|off|status|clear|dump <path>\n\
         \                     trace collector; dump writes Chrome trace_event JSON\n\

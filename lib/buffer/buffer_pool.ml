@@ -144,6 +144,38 @@ let fetch t pid =
       Hashtbl.replace t.frames (Page_id.to_int pid) f;
       f
 
+let mem t pid = Hashtbl.mem t.frames (Page_id.to_int pid)
+
+(* Install an already-read page with exactly the bookkeeping a fetch miss
+   would have done — miss count, probe, eviction, trace — minus the pin.
+   The batched scrub publishes its sweep reads through this so a scrubbed
+   pool is indistinguishable from one whose pages were fetched one at a
+   time.  A page that became resident since the caller read its copy is
+   left alone: the framed version may be newer. *)
+let admit t pid page =
+  if not (mem t pid) then begin
+    t.tick <- t.tick + 1;
+    t.misses <- t.misses + 1;
+    Obs.incr Probes.fetch_misses;
+    if Hashtbl.length t.frames >= t.capacity then evict_one t;
+    if Trace.on () then
+      Trace.instant ~cat:"buf"
+        ~args:[ ("page", Trace.Int (Page_id.to_int pid)) ]
+        "buf.fetch_miss";
+    let f =
+      {
+        id = pid;
+        page;
+        pin_count = 0;
+        dirty = false;
+        rec_lsn = Lsn.nil;
+        last_used = t.tick;
+        latch = Latch.create ();
+      }
+    in
+    Hashtbl.replace t.frames (Page_id.to_int pid) f
+  end
+
 let unpin _t f =
   if f.pin_count <= 0 then invalid_arg "Buffer_pool.unpin: not pinned";
   f.pin_count <- f.pin_count - 1

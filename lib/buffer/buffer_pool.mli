@@ -64,6 +64,19 @@ val capacity : t -> int
 (** The frame budget the pool was created with (callers sizing batched
     work against the pool, e.g. parallel redo, use this). *)
 
+val mem : t -> Rw_storage.Page_id.t -> bool
+(** Whether the page is resident (framed) right now.  Purely a peek: no
+    pin, no recency touch, no hit/miss accounting. *)
+
+val admit : t -> Rw_storage.Page_id.t -> Rw_storage.Page.t -> unit
+(** Install an already-read page with exactly the bookkeeping a
+    {!fetch} miss would have performed — miss count, [buf.fetch_miss]
+    probe and trace, eviction when full — except the frame starts
+    unpinned.  No-op when the page is already resident (the framed copy
+    may be newer than the caller's).  The batched scrub publishes its
+    sweep reads through this, so a scrubbed pool is indistinguishable
+    from one that fetched the same pages one at a time. *)
+
 val mark_dirty : t -> frame -> lsn:Rw_storage.Lsn.t -> unit
 (** Record that the frame was modified by the log record at [lsn]; on first
     dirtying this becomes the frame's recovery LSN. *)

@@ -9,6 +9,7 @@ module Media = Rw_storage.Media
 module Log_manager = Rw_wal.Log_manager
 module Buffer_pool = Rw_buffer.Buffer_pool
 module Recovery = Rw_recovery.Recovery
+module Domain_pool = Rw_pool.Domain_pool
 module Obs = Rw_obs.Metrics
 module Probes = Rw_obs.Probes
 module Trace = Rw_obs.Trace
@@ -111,68 +112,109 @@ let read_as_of ~tally ~shared ~sparse ~primary_disk ~log ~split pid =
               finish page r
           | Prepared_cache.Miss -> cold ()))
 
-(* Batched materialization: read the primary images of every page first,
-   plan the union of their undo chains from the chain index, prefetch those
-   log blocks in ascending LSN order — turning the per-page random log
-   reads into one sorted pass with sequential runs — then rewind each page.
-   The per-page rewind still charges its reads through the block cache;
-   the prefetch is what makes most of them hits. *)
+(* Batched materialization, staged across the shared domain pool:
+
+   1. {e Gather} (coordinator, ascending page order): primary image read
+      if the shared cache had nothing, then the page's raw chain plan —
+      FPI peek, chain-index lookup, per-page prefetch and the block-cache
+      fetch of the encoded records.  Every priced read and every shared
+      cache happens here, on the calling domain, in an order independent
+      of the fan-out.
+   2. {e Apply} (workers, round-robin by index): decode the raw bytes and
+      run the undo chain against the private page image — pure CPU over
+      private state.
+   3. {e Publish} (coordinator, ascending page order): probes, rewind
+      tallies, Prepared_cache inserts, decoded-record cache feeding and
+      side-file writes; plans the apply rejected rerun through the serial
+      path on their untouched pages.
+
+   Because gather and publish orders are fixed and workers touch nothing
+   shared, results and counters are byte- and count-identical under any
+   fan-out, including 1.  Fan-out changes modeled time only: each page's
+   gather I/O is timed and attributed to its round-robin partition, and
+   the clock is credited back down to the slowest partition's total —
+   [fanout] independent streams finish when the slowest does. *)
 let materialize_pages ~tally ~shared ~sparse ~primary_disk ~log ~split pids =
   let ts = if Trace.on () then Trace.now () else 0.0 in
+  let clock = Disk.clock primary_disk in
   let todo =
     List.sort_uniq Page_id.compare pids
     |> List.filter (fun pid -> not (Sparse_file.mem sparse pid))
   in
   (* Shared-cache pass first: exact images go straight to the side file
      (no chain to plan), newer images enter the batch needing only their
-     delta chains, and misses start from the primary image. *)
-  let pages =
+     delta chains, and misses will read the primary image in the gather. *)
+  let entering =
     List.filter_map
       (fun pid ->
         match shared with
-        | None -> Some (Disk.read_page primary_disk pid)
+        | None -> Some (pid, None)
         | Some cache -> (
             match Prepared_cache.find cache pid ~split with
             | Prepared_cache.Exact page ->
                 record_rewind tally pid no_rewind;
                 Sparse_file.write sparse pid page;
                 None
-            | Prepared_cache.Newer page -> Some page
-            | Prepared_cache.Miss -> Some (Disk.read_page primary_disk pid)))
+            | Prepared_cache.Newer page -> Some (pid, Some page)
+            | Prepared_cache.Miss -> Some (pid, None)))
       todo
   in
-  let chain_lsns acc page =
-    let pid = Page.id page in
-    let top = Page.lsn page in
-    if Lsn.(top <= split) then acc
-    else
-      (* Mirror the rewind's FPI jump-start: the chain above the image is
-         never visited, and the image's embedded LSN is the FPI record's
-         own [prev_page_lsn] (captured just before it was appended). *)
-      let fpi, segment =
-        match Log_manager.earliest_fpi_after log pid ~after:split with
-        | Some fpi_lsn when Lsn.(fpi_lsn < top) ->
-            let pk = Log_manager.peek_record log fpi_lsn in
-            ( [ fpi_lsn ],
-              Log_manager.chain_segment log pid ~from:pk.Rw_wal.Log_record.p_prev_page_lsn
-                ~down_to:split )
-        | _ -> ([], Log_manager.chain_segment log pid ~from:top ~down_to:split)
-      in
-      Array.fold_left (fun acc lsn -> lsn :: acc) (fpi @ acc) segment
+  let arr =
+    Array.of_list
+      (List.map
+         (fun (pid, cached) ->
+           let t0 = Sim_clock.now_us clock in
+           let page =
+             match cached with Some p -> p | None -> Disk.read_page primary_disk pid
+           in
+           let plan = Page_undo.plan_raw ~log ~page ~as_of:split in
+           (page, plan, Sim_clock.now_us clock -. t0))
+         entering)
   in
-  Log_manager.prefetch log (List.fold_left chain_lsns [] pages);
-  List.iter
-    (fun page ->
-      let r = Page_undo.prepare_page_as_of ~log ~page ~as_of:split in
-      record_rewind tally (Page.id page) r;
+  let n = Array.length arr in
+  let fanout = Domain_pool.effective_fanout n in
+  let results = Array.make n None in
+  if n > 0 then begin
+    Domain_pool.run ~participants:fanout (fun w ->
+        let i = ref w in
+        while !i < n do
+          let page, plan, _ = arr.(!i) in
+          results.(!i) <- Page_undo.apply_raw ~page ~as_of:split plan;
+          i := !i + fanout
+        done);
+    (* Overlap credit: the gather charged each partition's I/O serially;
+       [fanout] concurrent streams finish when the slowest does. *)
+    if fanout > 1 then begin
+      let per = Array.make fanout 0.0 in
+      Array.iteri (fun i (_, _, dt) -> per.(i mod fanout) <- per.(i mod fanout) +. dt) arr;
+      let total = Array.fold_left ( +. ) 0.0 per in
+      let slowest = Array.fold_left Float.max 0.0 per in
+      Sim_clock.credit_us clock (total -. slowest)
+    end
+  end;
+  Array.iteri
+    (fun i (page, _, _) ->
+      let pid = Page.id page in
+      let r =
+        match results.(i) with
+        | Some (r, feeds) ->
+            Array.iter
+              (fun (lsn, record) -> Log_manager.feed_record_cache log lsn record)
+              feeds;
+            Obs.incr Probes.snapshot_parallel_pages;
+            ignore (Page_undo.note pid r : Page_undo.result);
+            r
+        | None -> Page_undo.prepare_page_as_of ~log ~page ~as_of:split
+      in
+      record_rewind tally pid r;
       (match shared with
-      | Some cache -> Prepared_cache.add cache (Page.id page) ~as_of:split page
+      | Some cache -> Prepared_cache.add cache pid ~as_of:split page
       | None -> ());
-      Sparse_file.write sparse (Page.id page) page)
-    pages;
+      Sparse_file.write sparse pid page)
+    arr;
   if Trace.on () then
     Trace.complete ~cat:"snapshot" ~ts
-      ~args:[ ("pages", Trace.Int (List.length todo)) ]
+      ~args:[ ("pages", Trace.Int (List.length todo)); ("fanout", Trace.Int fanout) ]
       "snapshot.materialize_batch";
   List.length todo
 

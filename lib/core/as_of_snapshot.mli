@@ -76,13 +76,21 @@ val in_flight_txns : t -> int
 val undo_ops : t -> int
 
 val materialize_batch : t -> Rw_storage.Page_id.t list -> int
-(** Rewind the given pages into the sparse file in one batch: primary
-    images are read first, the union of their undo chains is prefetched
-    into the log block cache in ascending LSN order (sequentialising what
-    the per-page protocol reads randomly), then each page is rewound and
-    cached.  Pages already materialised are skipped; returns the number of
-    pages actually rewound.  Warming is semantically transparent —
-    subsequent reads return exactly what the §5.3 protocol would. *)
+(** Rewind the given pages into the sparse file in one batch, staged
+    across the shared [Rw_pool.Domain_pool]: the coordinator gathers
+    each page's primary image and raw chain records in ascending page
+    order (every priced read, every shared cache), workers decode and
+    apply the undo chains against private page images round-robin, and
+    the coordinator publishes results — probes, rewind tallies,
+    prepared-cache inserts, decoded-record cache feeding, side-file
+    writes — in ascending page order.  Results and counters are byte-
+    and count-identical under any pool fan-out, including 1; fan-out
+    changes modeled elapsed time only (each page's gather I/O is
+    attributed to its partition and the clock credited down to the
+    slowest partition).  Pages already materialised are skipped; returns
+    the number of pages actually rewound.  Warming is semantically
+    transparent — subsequent reads return exactly what the §5.3 protocol
+    would. *)
 
 val pages_materialised : t -> int
 (** Pages currently cached in the sparse file. *)

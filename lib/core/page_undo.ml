@@ -75,6 +75,144 @@ let prepare_page_as_of_walk ~log ~page ~as_of =
   walk ();
   note pid { ops_undone = !undone; log_records_read = !reads; used_fpi }
 
+(* ---------- staged rewind: gather / apply / publish ---------- *)
+
+(* The batch pipeline splits a rewind into a coordinator-side gather
+   (all priced I/O, all shared caches), a pure worker-side apply, and a
+   coordinator-side publish.  The plan carries everything the apply
+   needs as immutable raw bytes, so it can cross domains. *)
+type raw_plan = {
+  rp_fpi : (Lsn.t * string) option;  (* earliest-FPI record, encoded *)
+  rp_start : Lsn.t;  (* chain top after the FPI jump (page LSN otherwise) *)
+  rp_segment : Lsn.t array;  (* ascending chain LSNs in (as_of, rp_start] *)
+  rp_records : string array;  (* encoded records parallel to [rp_segment] *)
+  rp_reads : int;  (* log records fetched: segment + FPI *)
+  rp_ok : bool;  (* gather succeeded; [false] forces the serial fallback *)
+}
+
+let plan_raw ~log ~page ~as_of =
+  let pid = Page.id page in
+  let top = Page.lsn page in
+  let empty ok =
+    { rp_fpi = None; rp_start = top; rp_segment = [||]; rp_records = [||]; rp_reads = 0; rp_ok = ok }
+  in
+  if Lsn.(top <= as_of) then empty true
+  else
+    match
+      (* Mirror [prepare_page_as_of]: jump-start from the earliest full
+         page image after the target, then the chain-index segment from
+         the image's capture point ([prev_page_lsn]) down to [as_of]. *)
+      let fpi_lsn =
+        match Log_manager.earliest_fpi_after log pid ~after:as_of with
+        | Some f when Lsn.(f < top) -> Some f
+        | _ -> None
+      in
+      let start =
+        match fpi_lsn with
+        | Some f -> (Log_manager.peek_record log f).Log_record.p_prev_page_lsn
+        | None -> top
+      in
+      let segment =
+        if Lsn.(start <= as_of) then [||]
+        else Log_manager.chain_segment log pid ~from:start ~down_to:as_of
+      in
+      let all =
+        match fpi_lsn with Some f -> Array.append segment [| f |] | None -> segment
+      in
+      Log_manager.prefetch log (Array.to_list all);
+      let raw = Log_manager.read_segment_raw log all in
+      let n = Array.length segment in
+      let rp_fpi =
+        match fpi_lsn with Some f -> Some (f, raw.(Array.length raw - 1)) | None -> None
+      in
+      {
+        rp_fpi;
+        rp_start = start;
+        rp_segment = segment;
+        rp_records = (if fpi_lsn = None then raw else Array.sub raw 0 n);
+        rp_reads = Array.length all;
+        rp_ok = true;
+      }
+    with
+    | plan -> plan
+    | exception _ ->
+        (* Gather failures (truncated chain, missing record) are not
+           errors here: the publish stage reruns the page through the
+           serial path, which produces the right answer or the right
+           exception. *)
+        empty false
+
+let apply_raw ~page ~as_of plan =
+  if not plan.rp_ok then None
+  else
+    match
+      let n = Array.length plan.rp_segment in
+      (* Decode and validate everything BEFORE mutating the page, so a
+         rejected apply leaves it untouched for the serial fallback. *)
+      let fpi =
+        match plan.rp_fpi with
+        | None -> None
+        | Some (lsn, raw) -> (
+            let r = Log_record.decode raw in
+            match Log_record.op_of r with
+            | Some (Log_record.Full_image { image }) -> Some (lsn, r, image)
+            | _ -> raise Exit)
+      in
+      (* The authoritative resume point is the LSN embedded in the image
+         (what the serial path reads after its blit); the plan's
+         peek-derived [rp_start] built the segment, so a mismatch simply
+         fails validation below. *)
+      let start =
+        match fpi with
+        | Some (_, _, image) -> Page.lsn (Bytes.of_string image)
+        | None -> Page.lsn page
+      in
+      let decoded = Array.map Log_record.decode plan.rp_records in
+      let prev_of r =
+        match r.Log_record.body with
+        | Log_record.Page_op { page = rpid; prev_page_lsn; _ }
+        | Log_record.Clr { page = rpid; prev_page_lsn; _ } ->
+            if Page_id.equal rpid (Page.id page) then Some prev_page_lsn else None
+        | _ -> None
+      in
+      let valid = ref true in
+      if Lsn.(start <= as_of) then (if n > 0 then valid := false)
+      else if n = 0 || not (Lsn.equal plan.rp_segment.(n - 1) start) then valid := false
+      else begin
+        let i = ref 0 in
+        while !valid && !i < n do
+          (match prev_of decoded.(!i) with
+          | Some prev ->
+              let want = if !i = 0 then as_of else plan.rp_segment.(!i - 1) in
+              if !i = 0 then valid := Lsn.(prev <= want) else valid := Lsn.equal prev want
+          | None -> valid := false);
+          incr i
+        done
+      end;
+      if not !valid then raise Exit;
+      (match fpi with
+      | Some (_, _, image) -> Bytes.blit_string image 0 page 0 Page.page_size
+      | None -> ());
+      for i = n - 1 downto 0 do
+        match decoded.(i).Log_record.body with
+        | Log_record.Page_op { op; _ } | Log_record.Clr { op; _ } -> Log_record.undo op page
+        | _ -> assert false
+      done;
+      if n > 0 then (
+        match prev_of decoded.(0) with
+        | Some prev -> Page.set_lsn page prev
+        | None -> assert false);
+      let feeds =
+        Array.init plan.rp_reads (fun i ->
+            if i < n then (plan.rp_segment.(i), decoded.(i))
+            else
+              match fpi with Some (lsn, r, _) -> (lsn, r) | None -> assert false)
+      in
+      ( { ops_undone = n; log_records_read = plan.rp_reads; used_fpi = fpi <> None }, feeds )
+    with
+    | v -> Some v
+    | exception _ -> None
+
 (* Batched rewind: the chain index yields the page's whole backward chain
    in one lookup, so the records are fetched in ascending LSN order (block
    locality) instead of pointer-chasing backwards.  Every link is validated

@@ -39,3 +39,45 @@ val prepare_page_as_of_walk :
 (** The record-at-a-time reference implementation: pointer-chases
     [prevPageLSN] backwards exactly as the paper describes.  Kept public as
     the oracle for regression tests and as the fallback path. *)
+
+(** {2 Staged rewind (gather / apply / publish)}
+
+    The parallel batch pipeline splits {!prepare_page_as_of} into a
+    coordinator-side {!plan_raw} (every priced log read, every shared
+    cache), a pure domain-safe {!apply_raw}, and a coordinator-side
+    publish that calls {!note} and re-seeds the decoded-record cache
+    with the returned decodes.  A plan that fails to gather or validate
+    makes {!apply_raw} return [None] with the page untouched; rerunning
+    the page through {!prepare_page_as_of} then reproduces the serial
+    path's exact result or exception. *)
+
+type raw_plan
+(** Everything one page's apply needs, as immutable raw bytes — safe to
+    hand to a worker domain. *)
+
+val plan_raw :
+  log:Rw_wal.Log_manager.t -> page:Rw_storage.Page.t -> as_of:Rw_storage.Lsn.t -> raw_plan
+(** Gather the page's undo chain as encoded bytes: the FPI jump-start
+    record (if one applies), then the chain-index segment down to
+    [as_of], prefetched and fetched through the block cache with the
+    same pricing as the serial path — but never touching the
+    decoded-record cache (see {!Rw_wal.Log_manager.read_segment_raw}).
+    Gather failures are folded into the plan, not raised. *)
+
+val apply_raw :
+  page:Rw_storage.Page.t ->
+  as_of:Rw_storage.Lsn.t ->
+  raw_plan ->
+  (result * (Rw_storage.Lsn.t * Rw_wal.Log_record.t) array) option
+(** Decode, validate and apply the plan against [page], in place.  Pure
+    CPU over private state — no I/O, no caches, no probes — so it may
+    run on any domain.  Validation happens entirely before the first
+    mutation: [None] means the plan was rejected and [page] is
+    untouched.  On success, returns the rewind {!result} plus every
+    record decoded, for the publish stage to feed back into the
+    decoded-record cache. *)
+
+val note : Rw_storage.Page_id.t -> result -> result
+(** Publish-stage accounting for a rewind performed via
+    {!apply_raw}: bumps the [undo.*] probes and emits the trace instant
+    exactly as the serial path does internally.  Returns its argument. *)

@@ -160,6 +160,19 @@ let find_exact t pid ~split =
           Some (page_of_entry e)
       | _ -> None)
 
+(* Deterministic dump for the fan-out determinism tests: every live
+   entry as (page, as_of, image), sorted.  Stale-epoch entries are
+   pruned first, so two caches with identical histories compare equal
+   regardless of when lookups last happened to prune them. *)
+let contents t =
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun pid cell ->
+      prune t cell;
+      List.iter (fun e -> rows := (Page_id.of_int pid, e.e_as_of, e.e_image) :: !rows) !cell)
+    t.table;
+  List.sort compare !rows
+
 let evict_oldest t =
   let victim = ref None in
   Hashtbl.iter

@@ -56,3 +56,9 @@ val invalidations : t -> int
 
 val hit_rate : t -> float
 (** (exact + delta hits) / lookups, 0 when no lookups yet. *)
+
+val contents : t -> (Rw_storage.Page_id.t * Rw_storage.Lsn.t * string) list
+(** Every live entry as [(page, as_of, image bytes)], sorted — a
+    deterministic dump for the fan-out determinism tests (two runs that
+    behaved identically produce equal lists).  Stale-epoch entries are
+    pruned before listing. *)

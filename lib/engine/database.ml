@@ -19,6 +19,7 @@ module Page_repair = Rw_recovery.Page_repair
 module Fault_plan = Rw_storage.Fault_plan
 module As_of_snapshot = Rw_core.As_of_snapshot
 module Retention = Rw_core.Retention
+module Domain_pool = Rw_pool.Domain_pool
 
 type txn = Txn_manager.txn
 
@@ -610,17 +611,112 @@ let load ~clock ~media ?log_media ?pool_capacity:(pool_cap = 512) ?(log_cache_bl
 (* --- scrubbing --- *)
 
 let scrub t =
-  (* Touch every written page through the self-healing pool: residual
-     damage (bit rot, applied torn writes) is detected by checksum and
-     repaired from the log; unrepairable pages land in quarantine instead
-     of failing the scrub.  Returns the number of pages repaired. *)
+  (* Sweep every written page looking for residual damage (bit rot,
+     applied torn writes); corrupt pages are repaired from the log and
+     unrepairable ones land in quarantine instead of failing the scrub.
+     Returns the number of pages repaired.
+
+     The sweep is staged across the shared domain pool in batches: the
+     coordinator reads each non-resident page through the priced,
+     fault-consulting path in ascending page order, workers verify
+     checksums on those private copies round-robin, and the coordinator
+     publishes verdicts — again in ascending page order — admitting
+     clean pages into the pool with exactly a fetch miss's bookkeeping,
+     repairing (or quarantining) the rest, and touching pages that were
+     already resident through [with_page] just as the serial sweep did.
+     Detection, repair and quarantine outcomes are identical under any
+     fan-out including 1; fan-out only narrows modeled elapsed time
+     (each partition's sweep reads are assumed to stream concurrently,
+     so the clock is credited down to the slowest partition). *)
   let repaired_before = (Disk.stats t.disk).Rw_storage.Io_stats.pages_repaired in
-  for i = 0 to Disk.page_count t.disk - 1 do
+  let wal_flush lsn = Txn_manager.flush_log t.txns ~upto:lsn in
+  let candidates = ref [] in
+  for i = Disk.page_count t.disk - 1 downto 0 do
     let pid = Page_id.of_int i in
-    if Disk.has_page t.disk pid then
-      try Rw_buffer.Buffer_pool.with_page t.pool pid ~mode:Rw_buffer.Latch.Shared (fun _ -> ())
-      with Rw_recovery.Page_repair.Quarantined _ -> ()
+    if Disk.has_page t.disk pid then candidates := pid :: !candidates
   done;
+  (* Batch bound: keeps residency classification fresh relative to the
+     evictions our own admissions cause, and bounds gather-copy memory. *)
+  let batch_size = max 1 (Buffer_pool.capacity t.pool / 2) in
+  let sweep_batch batch =
+    (* Gather: priced reads of the pages not resident (and not
+       quarantined) right now, ascending, each timed so its I/O can be
+       attributed to a round-robin partition. *)
+    let items =
+      List.filter_map
+        (fun pid ->
+          if Buffer_pool.mem t.pool pid || Page_repair.Quarantine.mem t.quarantine pid then
+            None
+          else begin
+            let t0 = Sim_clock.now_us t.clock in
+            let page = Disk.read_page_retrying t.disk pid in
+            Some (pid, page, Sim_clock.now_us t.clock -. t0)
+          end)
+        batch
+    in
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let ok = Array.make n false in
+    if n > 0 then begin
+      let fanout = Domain_pool.effective_fanout n in
+      Domain_pool.run ~participants:fanout (fun w ->
+          let i = ref w in
+          while !i < n do
+            let _, page, _ = arr.(!i) in
+            ok.(!i) <- Rw_storage.Page.verify page;
+            i := !i + fanout
+          done);
+      if fanout > 1 then begin
+        let per = Array.make fanout 0.0 in
+        Array.iteri (fun i (_, _, dt) -> per.(i mod fanout) <- per.(i mod fanout) +. dt) arr;
+        let total = Array.fold_left ( +. ) 0.0 per in
+        let slowest = Array.fold_left Float.max 0.0 per in
+        Sim_clock.credit_us t.clock (total -. slowest)
+      end
+    end;
+    (* Publish, ascending: clean pages enter the pool as a fetch miss
+       would; corrupt ones repair (or quarantine) exactly as the
+       self-healing source does.  Pages that were resident at gather are
+       touched through the pool — re-reading via the healing source if
+       one of our own admissions evicted them meanwhile. *)
+    let verdicts = Hashtbl.create (2 * (n + 1)) in
+    Array.iteri
+      (fun i (pid, page, _) -> Hashtbl.replace verdicts (Page_id.to_int pid) (page, ok.(i)))
+      arr;
+    List.iter
+      (fun pid ->
+        match Hashtbl.find_opt verdicts (Page_id.to_int pid) with
+        | Some (page, true) -> Buffer_pool.admit t.pool pid page
+        | Some (_, false) -> (
+            let st = Disk.stats t.disk in
+            st.Rw_storage.Io_stats.corruptions_detected <-
+              st.Rw_storage.Io_stats.corruptions_detected + 1;
+            match Page_repair.repair_to_disk ~log:t.log ~disk:t.disk ~wal_flush pid with
+            | page -> Buffer_pool.admit t.pool pid page
+            | exception Page_repair.Unrepairable { reason; _ } ->
+                Page_repair.Quarantine.add t.quarantine pid reason)
+        | None -> (
+            if not (Page_repair.Quarantine.mem t.quarantine pid) then
+              try
+                Rw_buffer.Buffer_pool.with_page t.pool pid ~mode:Rw_buffer.Latch.Shared
+                  (fun _ -> ())
+              with Rw_recovery.Page_repair.Quarantined _ -> ()))
+      batch
+  in
+  let rec sweep = function
+    | [] -> ()
+    | remaining ->
+        let rec split k acc rest =
+          match rest with
+          | [] -> (List.rev acc, [])
+          | _ when k = 0 -> (List.rev acc, rest)
+          | x :: tl -> split (k - 1) (x :: acc) tl
+        in
+        let batch, rest = split batch_size [] remaining in
+        sweep_batch batch;
+        sweep rest
+  in
+  sweep !candidates;
   (Disk.stats t.disk).Rw_storage.Io_stats.pages_repaired - repaired_before
 
 (* --- crash simulation --- *)

@@ -90,6 +90,16 @@ let recovery_backlog =
   gauge ~unit_:"pages" ~help:"Pages still awaiting redo/undo after an instant restart"
     "recovery.backlog"
 
+(* Domain pool *)
+
+let pool_tasks =
+  counter ~unit_:"tasks" ~help:"Participant slots executed by shared-pool runs (caller included)"
+    "pool.tasks"
+
+let pool_wakes =
+  counter ~unit_:"wakes" ~help:"Parked worker domains woken by shared-pool runs"
+    "pool.wakes"
+
 (* As-of snapshots *)
 
 let snapshot_creates = counter ~unit_:"snapshots" ~help:"As-of snapshots created" "snapshot.creates"
@@ -109,6 +119,11 @@ let snapshot_shared_hits =
   counter ~unit_:"pages"
     ~help:"Prepared-page cache hits: a rewound page was reused (or delta-extended) by a later snapshot"
     "snapshot.shared_hits"
+
+let snapshot_parallel_pages =
+  counter ~unit_:"pages"
+    ~help:"Pages whose rewind ran through the staged parallel batch pipeline"
+    "snapshot.parallel_pages"
 
 let snapshot_shared_misses =
   counter ~unit_:"pages"

@@ -49,6 +49,11 @@ val recovery_pages_on_demand : Metrics.counter
 val recovery_redo_partitions : Metrics.counter
 val recovery_backlog : Metrics.gauge
 
+(** {1 Shared domain pool} *)
+
+val pool_tasks : Metrics.counter
+val pool_wakes : Metrics.counter
+
 (** {1 As-of snapshots} *)
 
 val snapshot_creates : Metrics.counter
@@ -56,6 +61,7 @@ val snapshot_pages_materialized : Metrics.counter
 val snapshot_side_hits : Metrics.counter
 val snapshots_live : Metrics.gauge
 val snapshot_shared_hits : Metrics.counter
+val snapshot_parallel_pages : Metrics.counter
 val snapshot_shared_misses : Metrics.counter
 
 (** {1 Sessions} *)

@@ -164,103 +164,20 @@ let redo_pass ~log ~pool ~analysis ~upto =
    fan-out knob, clamped to the host's core count (see [set_redo_fanout]),
    with partitions assigned round-robin so any fan-out yields the same
    pages. *)
-(* A process-global pool of redo worker domains.  [Domain.spawn] costs
-   milliseconds on a loaded machine — more than an entire small restart —
-   so spawning per batch would make parallel redo slower than sequential.
-   Workers are spawned once, on first use, and parked on a condition
-   variable between restarts (an idle blocked domain does not prevent
-   process exit); a wake/claim/report round-trip is a few microseconds.
-   Each generation publishes one job closure and [parts - 1] participant
-   indexes (the calling domain runs index 0 itself); every worker claims
-   at most one index per generation, so the caller must ensure at least
-   [parts - 1] workers exist before publishing. *)
-module Redo_pool = struct
-  let m = Mutex.create ()
-  let work_ready = Condition.create ()
-  let work_done = Condition.create ()
-  let job : (int -> unit) option ref = ref None
-  let generation = ref 0
-  let next_part = ref 1
-  let parts = ref 0
-  let pending = ref 0
-  let failure = ref None
-  let spawned = ref 0
+(* The parked worker-domain pool this module once owned now lives in
+   [Rw_pool.Domain_pool], shared with snapshot batch rewind and the
+   scrub sweep; redo keeps only its partitioning logic.  Partition COUNT
+   is fixed by [redo_domains] — that is what determinism and the
+   byte-equality contract are stated over — while the shared pool clamps
+   how many domains actually run (see [Domain_pool.effective_fanout]).
+   On a 1-core host the partitions are applied on the calling domain
+   alone — still faster than the sequential pass, which pays a pool
+   fetch, a latch and a dirty-table update per RECORD where the
+   partitioned layout pays them per page per batch. *)
+module Domain_pool = Rw_pool.Domain_pool
 
-  let worker () =
-    let seen = ref 0 in
-    Mutex.lock m;
-    while true do
-      while !generation = !seen do
-        Condition.wait work_ready m
-      done;
-      seen := !generation;
-      (* A worker that wakes after every index is claimed just waits for
-         the next generation. *)
-      if !next_part < !parts then begin
-        let idx = !next_part in
-        incr next_part;
-        let f = Option.get !job in
-        Mutex.unlock m;
-        (try f idx
-         with e ->
-           Mutex.lock m;
-           if !failure = None then failure := Some e;
-           Mutex.unlock m);
-        Mutex.lock m;
-        decr pending;
-        if !pending = 0 then Condition.broadcast work_done
-      end
-    done
-
-  let ensure_workers n =
-    while !spawned < n do
-      ignore (Domain.spawn worker);
-      incr spawned
-    done
-
-  (* Run [f 0] .. [f (participants - 1)] concurrently, [f 0] on the
-     calling domain, and return once all have finished.  Re-raises the
-     first worker exception after the barrier. *)
-  let run ~participants f =
-    ensure_workers (participants - 1);
-    Mutex.lock m;
-    job := Some f;
-    parts := participants;
-    next_part := 1;
-    pending := participants - 1;
-    failure := None;
-    incr generation;
-    Condition.broadcast work_ready;
-    Mutex.unlock m;
-    f 0;
-    Mutex.lock m;
-    while !pending > 0 do
-      Condition.wait work_done m
-    done;
-    let fail = !failure in
-    job := None;
-    Mutex.unlock m;
-    match fail with Some e -> raise e | None -> ()
-end
-
-(* How many domains (including the caller) actually run concurrently.
-   Partition COUNT is fixed by [redo_domains] — that is what determinism
-   and the byte-equality contract are stated over — but running more
-   workers than cores is pure loss (domains timeslice one core and every
-   minor GC pays a stop-the-world rendezvous across all of them), so the
-   fan-out is capped at [Domain.recommended_domain_count] and workers
-   process partitions round-robin.  On a 1-core host the partitions are
-   applied on the calling domain alone — still faster than the sequential
-   pass, which pays a pool fetch, a latch and a dirty-table update per
-   RECORD where the partitioned layout pays them per page per batch. *)
-let redo_fanout = ref None
-let set_redo_fanout cap = redo_fanout := cap
-
-let effective_fanout domains =
-  let cap =
-    match !redo_fanout with Some c -> c | None -> Domain.recommended_domain_count ()
-  in
-  max 1 (min domains cap)
+let set_redo_fanout cap = Domain_pool.set_fanout cap
+let effective_fanout domains = Domain_pool.effective_fanout domains
 
 (* One gathered redo record: ops stay decoded when the apply runs on the
    calling domain (warm record-cache hits cost nothing), but cross domains
@@ -345,7 +262,7 @@ let redo_parallel ~log ~pool ~analysis ~upto ~domains =
             let i = k mod domains in
             parts.(i) <- item :: parts.(i))
           items;
-        Redo_pool.run ~participants:fanout (fun i ->
+        Domain_pool.run ~participants:fanout (fun i ->
             let j = ref i in
             while !j < domains do
               List.iter apply_item parts.(!j);

@@ -130,7 +130,13 @@ val set_redo_fanout : int option -> unit
     uses [Domain.recommended_domain_count ()].  Partition assignment is
     round-robin over the fan-out, so results are identical under any cap;
     tests use [Some n] to force true cross-domain execution on small
-    hosts. *)
+    hosts.
+
+    @deprecated The worker pool is shared engine-wide now; this is a
+    thin alias for [Rw_pool.Domain_pool.set_fanout] kept so existing
+    callers and the [\recovery] docs stay valid.  Note the cap it sets
+    is {e global} — it also bounds snapshot batch rewind and the scrub
+    sweep.  New code should call [Domain_pool.set_fanout] directly. *)
 
 val undo_losers :
   log:Rw_wal.Log_manager.t ->

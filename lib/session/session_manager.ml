@@ -70,8 +70,12 @@ let open_writer t ~name ~step =
       s_open = true;
     }
 
-let open_reader ?shared t ~name ~wall_us ~step =
+let open_reader ?shared ?(prewarm = false) t ~name ~wall_us ~step =
   let view = Database.create_as_of_snapshot ?shared t.db ~name ~wall_us in
+  (* Prewarm rides the staged parallel batch pipeline: every page that
+     changed after the split is rewound into the side file up front, so
+     the reader's steps never pay on-the-fly rewinds. *)
+  if prewarm then ignore (Rw_engine.Time_travel.warm view);
   register t
     {
       s_name = name;

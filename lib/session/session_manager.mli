@@ -30,6 +30,7 @@ val open_writer : t -> name:string -> step:(Rw_engine.Database.t -> unit) -> ses
 
 val open_reader :
   ?shared:bool ->
+  ?prewarm:bool ->
   t ->
   name:string ->
   wall_us:float ->
@@ -38,8 +39,13 @@ val open_reader :
 (** Open an as-of snapshot at [wall_us] (see
     {!Rw_engine.Database.create_as_of_snapshot}; [shared] defaults to
     reading through the shared prepared-page cache) and register a reader
-    session whose [step] receives the snapshot view.  Raises
-    {!Rw_core.Split_lsn.Out_of_retention} like snapshot creation does. *)
+    session whose [step] receives the snapshot view.  With [prewarm]
+    (default false) the view is warmed up front via
+    {!Rw_engine.Time_travel.warm} — every page that changed after the
+    split is batch-rewound into the side file through the staged
+    domain-pool pipeline, so the session's steps never rewind on the
+    fly.  Raises {!Rw_core.Split_lsn.Out_of_retention} like snapshot
+    creation does. *)
 
 val close : t -> session -> unit
 (** Remove the session from the rotation; a reader's snapshot is dropped

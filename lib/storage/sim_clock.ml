@@ -8,6 +8,10 @@ let advance_us t d =
   if d < 0.0 then invalid_arg "Sim_clock.advance_us: negative";
   t.now_us <- t.now_us +. d
 
+let credit_us t d =
+  if d < 0.0 then invalid_arg "Sim_clock.credit_us: negative";
+  t.now_us <- t.now_us -. d
+
 let pp_duration fmt us =
   if us < 1_000.0 then Format.fprintf fmt "%.1fus" us
   else if us < 1_000_000.0 then Format.fprintf fmt "%.2fms" (us /. 1_000.0)

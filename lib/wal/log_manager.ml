@@ -695,7 +695,8 @@ let read t lsn =
    priced random read — but charged once per block instead of once per
    record, and the decodes go through the segment slot handles.  This is
    the fetch primitive under the batched [prepare_page_as_of]. *)
-let read_segment t lsns =
+let read_segment_gen : 'a. t -> Lsn.t array -> (segment -> int -> 'a) -> 'a array =
+ fun t lsns extract ->
   if Array.length lsns = 0 then [||]
   else begin
     (* Records are stored in ascending LSN order and the request is
@@ -752,9 +753,37 @@ let read_segment t lsns =
           end
         end;
         ri := i + 1;
-        decode_cached_quiet t s i)
+        extract s i)
       lsns
   end
+
+let read_segment t lsns = read_segment_gen t lsns (fun s i -> decode_cached_quiet t s i)
+
+(* Raw batch variant: identical block accounting, but the encoded bytes
+   are copied out undecoded and the (single-domain) record cache is never
+   consulted — no record hit/miss accounting at all.  This is the gather
+   primitive of the parallel batch-rewind pipeline: workers decode the
+   bytes off-thread, and the publish stage hands the decodes back through
+   [feed_record_cache]. *)
+let read_segment_raw t lsns = read_segment_gen t lsns rec_data
+
+(* Publish-stage seeding: insert an already-decoded record into the
+   record cache if its slot is empty or evicted.  Silent — no hit/miss
+   accounting — so a batch that gathered raw and decoded off-thread
+   leaves the cache as warm as a coordinator-side decode would have,
+   without perturbing the counters the raw gather deliberately skipped. *)
+let feed_record_cache t lsn record =
+  match locate_opt t lsn with
+  | None -> ()
+  | Some (si, i) -> (
+      let seg = t.segs.(si) in
+      match seg.s_cached.(i) with
+      | Some n when Lru.Weighted.alive n -> ()
+      | _ ->
+          seg.s_cached.(i) <-
+            Some
+              (Lru.Weighted.add_node t.record_cache seg.s_lsns.(i) ~weight:(rec_len seg i)
+                 record))
 
 let peek_record t lsn =
   let si, i = locate t lsn in

@@ -98,6 +98,21 @@ val read_segment : t -> Rw_storage.Lsn.t array -> Log_record.t array
     per record, and decodes are served through the record cache.  Same
     exceptions as {!read}. *)
 
+val read_segment_raw : t -> Rw_storage.Lsn.t array -> string array
+(** {!read_segment} returning encoded record bytes instead of decodes:
+    identical block accounting, but the single-domain decoded-record
+    cache is never consulted (no record hit/miss counts).  The gather
+    primitive of the parallel batch-rewind pipeline — workers decode the
+    bytes off-thread ({!Log_record.decode} is pure) and the coordinator
+    re-seeds the cache with {!feed_record_cache} at publish time.  Same
+    exceptions as {!read}. *)
+
+val feed_record_cache : t -> Rw_storage.Lsn.t -> Log_record.t -> unit
+(** Seed the decoded-record cache with a record decoded elsewhere (the
+    publish stage of a parallel batch): inserted only if the record's
+    slot is empty or evicted, with no hit/miss accounting.  Unknown LSNs
+    are ignored. *)
+
 val peek_record : t -> Rw_storage.Lsn.t -> Log_record.peek
 (** Header-only view of a record; no payload allocation, no I/O charge.
     Same exceptions as {!read}. *)

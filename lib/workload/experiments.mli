@@ -48,6 +48,15 @@ type figure =
           (canonical masked pages + logical rows) against an oracle
           built by replaying the recorded history minus the victim from
           scratch; exits non-zero on any inequality *)
+  | E12
+      (** domain-parallel batched as-of preparation: the staged
+          gather/apply/publish pipeline behind
+          [As_of_snapshot.materialize_batch] swept at fan-out 1/2/4/8
+          over a growing snapshot page count at the cold-chain operating
+          point; reports modeled (simulated-clock) elapsed per fan-out
+          and self-checks every run byte-identical (canonical pages) to
+          a serial twin — exits non-zero on divergence or if fan-out 4
+          fails to beat serial by 2x at the largest scale *)
   | Ablation
       (** design-choice ablations: FPI frequency, log cache size, page- vs
           transaction-oriented undo, and proactive copy-on-write snapshots

@@ -62,6 +62,7 @@ base_analysis=$(bench_value "core-primitives/recovery-analysis-only" || true)
 base_catchup=$(bench_value "core-primitives/replica-catchup-apply (parallel redo)" || true)
 base_depgraph=$(bench_value "core-primitives/dep-graph-build (64-txn history)" || true)
 base_selective=$(bench_value "core-primitives/selective-replay-vs-full-rewind: selective" || true)
+base_batch_par=$(bench_value "prepare_batch_as_of-parallel-4" || true)
 
 dune exec bench/main.exe -- all --quick --json >/dev/null
 test -s BENCH_micro.json
@@ -104,6 +105,26 @@ check_regression "core-primitives/replica-catchup-apply (parallel redo)" "$base_
 # set (the full-rewind row is its context, not a guard).
 check_regression "core-primitives/dep-graph-build (64-txn history)" "$base_depgraph"
 check_regression "core-primitives/selective-replay-vs-full-rewind: selective" "$base_selective"
+# Batched as-of preparation through the shared domain pool: guard the
+# modeled parallel row, and require it to beat the serial batch row by
+# >= 2x at fan-out 4 on the cold-chain operating point (the acceptance
+# bar of the staged pipeline — both rows are sim-clock modeled, so this
+# is deterministic, not host-load-dependent).
+check_regression "prepare_batch_as_of-parallel-4" "$base_batch_par"
+batch_serial=$(bench_value "prepare_batch_as_of-serial" || true)
+batch_par=$(bench_value "prepare_batch_as_of-parallel-4" || true)
+awk -v s="$batch_serial" -v p="$batch_par" 'BEGIN {
+  if (s == "" || p == "" || s == "null" || p == "null") {
+    print "error: batch bench rows missing"; exit 1
+  }
+  printf "prepare_batch_as_of serial/parallel-4 speedup: %.2fx (need >= 2x)\n", s / p
+  if (s < 2.0 * p) { print "error: parallel batch row fails the 2x bar"; exit 1 }
+}'
+
+echo "== e12 smoke (domain-parallel batch, serial-twin byte-equality) =="
+# Fan-out sweep with the serial-twin self-check; exits non-zero on any
+# divergence between fan-outs.
+dune exec bench/main.exe -- e12 --quick
 
 echo "== fault-injection soak (fixed seeds, random crash points) =="
 # TPC-C under torn writes / bit rot / transient errors / torn log tails,
